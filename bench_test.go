@@ -1,0 +1,238 @@
+package perfq
+
+// Benchmarks regenerating the paper's tables and figures (one per
+// artifact) plus the hot datapath operations underneath them. The figure
+// benchmarks report ns per replayed packet; absolute numbers depend on
+// the host, but the relationships the paper reports (geometry ordering,
+// merge overhead, backing-store feasibility) are visible directly in the
+// measurements. See EXPERIMENTS.md for the full-scale reproduction runs.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"perfq/internal/backing"
+	"perfq/internal/fold"
+	"perfq/internal/harness"
+	"perfq/internal/kvstore"
+	"perfq/internal/netstore"
+	"perfq/internal/packet"
+	"perfq/internal/queries"
+	"perfq/internal/trace"
+	"perfq/internal/tracegen"
+)
+
+// benchKeys materializes a key-reference stream once per process.
+var benchKeys []packet.Key128
+
+func keyStream(b *testing.B) []packet.Key128 {
+	b.Helper()
+	if benchKeys != nil {
+		return benchKeys
+	}
+	cfg := tracegen.WANConfig(2016, 10*time.Minute)
+	cfg.MaxPackets = 1_000_000
+	gen := tracegen.New(cfg)
+	var rec trace.Record
+	for {
+		if err := gen.Next(&rec); err == io.EOF {
+			break
+		}
+		benchKeys = append(benchKeys, rec.FlowKey().Pack())
+	}
+	return benchKeys
+}
+
+// BenchmarkFig5EvictionRate replays the CAIDA-like key stream through
+// each cache geometry of Figure 5 at the scaled 32-Mbit operating point;
+// ns/op is the per-packet cost of the key-value store, and the reported
+// evict% metric is the figure's y-axis.
+func BenchmarkFig5EvictionRate(b *testing.B) {
+	keys := keyStream(b)
+	geoms := map[string]kvstore.Geometry{
+		"hash-table":        kvstore.HashTable(1 << 14),
+		"8-way":             kvstore.SetAssociative(1<<14, 8),
+		"fully-associative": kvstore.FullyAssociative(1 << 14),
+	}
+	for name, g := range geoms {
+		b.Run(name, func(b *testing.B) {
+			cache, err := kvstore.New(kvstore.Config{Geometry: g, Fold: fold.Count()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := &fold.Input{Rec: &trace.Record{}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cache.Process(keys[i%len(keys)], in)
+			}
+			b.ReportMetric(100*cache.Stats().EvictionRate(), "evict%")
+		})
+	}
+}
+
+// BenchmarkFig6Accuracy runs one short window of the non-linear query
+// pipeline (cache + epoch-keeping backing store); the accuracy metric is
+// Figure 6's y-axis at this point.
+func BenchmarkFig6Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFig6(harness.Fig6Config{
+			Seed: 63, Duration: 30 * time.Second, FlowRate: 300,
+			Windows:    []time.Duration{30 * time.Second},
+			SizesPairs: []int{1 << 10},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.Rows[0].Accuracy[30*time.Second], "accuracy%")
+		}
+	}
+}
+
+// BenchmarkFig2Queries compiles and runs each Figure 2 example through
+// the full datapath on a fixed 2-second datacenter trace; ns/op is the
+// end-to-end cost per run (compile + switch + collector).
+func BenchmarkFig2Queries(b *testing.B) {
+	cfg := tracegen.DCConfig(7, 2*time.Second)
+	cfg.DropProb = 0.005
+	recs, err := trace.Collect(tracegen.New(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ex := range queries.Fig2 {
+		b.Run(ex.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := MustCompile(ex.Source)
+				res, err := q.Run(Records(recs), WithCache(1<<12, 8))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Table(ex.Result) == nil {
+					b.Fatal("missing result")
+				}
+			}
+			b.ReportMetric(float64(len(recs)), "records")
+		})
+	}
+}
+
+// BenchmarkCacheUpdateExactMerge measures the per-packet cost of the
+// linear-in-state machinery on a cache hit: state ← A·S+B plus the
+// running product P ← A·P (the paper's extra multiply for (1-α)^N).
+func BenchmarkCacheUpdateExactMerge(b *testing.B) {
+	lat := fold.Bin{Op: fold.OpSub, L: fold.FieldRef(trace.FieldTout), R: fold.FieldRef(trace.FieldTin)}
+	f := fold.Ewma(lat, 0.125)
+	cache, err := kvstore.New(kvstore.Config{
+		Geometry: kvstore.SetAssociative(1<<10, 8), Fold: f, ExactMerge: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := packet.FiveTuple{Src: packet.Addr4{10, 0, 0, 1}, Proto: packet.ProtoTCP}.Pack()
+	in := &fold.Input{Rec: &trace.Record{Tin: 10, Tout: 20}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cache.Process(key, in)
+	}
+}
+
+// BenchmarkBackingMerge measures one eviction reconciliation (§3.2's
+// merge operation, with the first-packet replay).
+func BenchmarkBackingMerge(b *testing.B) {
+	lat := fold.Bin{Op: fold.OpSub, L: fold.FieldRef(trace.FieldTout), R: fold.FieldRef(trace.FieldTin)}
+	f := fold.Ewma(lat, 0.125)
+	store := backing.New(f)
+	rec := trace.Record{Tin: 5, Tout: 17}
+	ev := kvstore.Eviction{
+		Key:      packet.FiveTuple{SrcPort: 1}.Pack(),
+		State:    []float64{3.5},
+		P:        []float64{0.25},
+		FirstRec: &rec,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store.HandleEviction(&ev)
+	}
+}
+
+// BenchmarkNetstoreThroughput streams merge-frame evictions over TCP
+// loopback; ops/s here is the §4 feasibility number (the paper needs
+// 802K evictions/s at the 32-Mbit point).
+func BenchmarkNetstoreThroughput(b *testing.B) {
+	lat := fold.Bin{Op: fold.OpSub, L: fold.FieldRef(trace.FieldTout), R: fold.FieldRef(trace.FieldTin)}
+	f := fold.Ewma(lat, 0.125)
+	srv, err := netstore.NewServer("127.0.0.1:0", f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := netstore.Dial(srv.Addr(), f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	rec := trace.Record{Tin: 1, Tout: 2}
+	ev := kvstore.Eviction{
+		Key:      packet.FiveTuple{SrcPort: 9}.Pack(),
+		State:    []float64{1},
+		P:        []float64{0.5},
+		FirstRec: &rec,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := cl.HandleEviction(&ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cl.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCompile measures frontend+compiler cost for the most complex
+// example (the fused loss-rate join).
+func BenchmarkCompile(b *testing.B) {
+	src := queries.ByName("Per-flow loss rate").Source
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroundTruthPerRecord and BenchmarkDatapathPerRecord compare
+// the software executor against the switch datapath per record.
+func BenchmarkGroundTruthPerRecord(b *testing.B) {
+	benchPerRecord(b, func(q *Query, recs []Record) error {
+		_, err := q.GroundTruth(Records(recs))
+		return err
+	})
+}
+
+func BenchmarkDatapathPerRecord(b *testing.B) {
+	benchPerRecord(b, func(q *Query, recs []Record) error {
+		_, err := q.Run(Records(recs), WithCache(1<<12, 8))
+		return err
+	})
+}
+
+func benchPerRecord(b *testing.B, run func(*Query, []Record) error) {
+	b.Helper()
+	cfg := tracegen.DCConfig(9, 2*time.Second)
+	recs, err := trace.Collect(tracegen.New(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustCompile(queries.ByName("Latency EWMA").Source)
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		if err := run(q, recs); err != nil {
+			b.Fatal(err)
+		}
+		done += len(recs)
+	}
+	b.ReportMetric(float64(len(recs)), "records/run")
+}

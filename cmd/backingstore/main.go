@@ -1,0 +1,62 @@
+// backingstore runs the scale-out backing key-value store (§3.2) as a
+// standalone TCP service: the off-switch half of the split design that
+// absorbs cache evictions. The store is configured with the query whose
+// aggregation it backs (the controller would install the same query on
+// the switch).
+//
+// Usage:
+//
+//	backingstore -listen 127.0.0.1:7070 query.pq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"perfq"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		statsI = flag.Duration("stats", 10*time.Second, "stats logging interval (0 = off)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: backingstore [flags] <query.pq>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("backingstore: %v", err)
+	}
+	q, err := perfq.Compile(string(src))
+	if err != nil {
+		log.Fatalf("backingstore: %v", err)
+	}
+	srv, err := q.ServeBackingStore(*listen)
+	if err != nil {
+		log.Fatalf("backingstore: %v", err)
+	}
+	log.Printf("backingstore: serving %s on %s (state %d words, merge %s)",
+		flag.Arg(0), srv.Addr(), srv.StateLen(), srv.MergeKind())
+
+	if *statsI > 0 {
+		go func() {
+			for range time.Tick(*statsI) {
+				log.Printf("backingstore: %s", srv.StatsLine())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("backingstore: shutting down; final: %s", srv.StatsLine())
+	srv.Close()
+}

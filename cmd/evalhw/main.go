@@ -1,0 +1,151 @@
+// evalhw regenerates the paper's evaluation (§4): Figure 5 (eviction
+// rates by cache geometry and size), Figure 6 (accuracy of non-linear
+// queries vs query window), the Figure 2 expressiveness table, the
+// unique-flow census, the chip-area model, and the backing-store
+// throughput check.
+//
+// Usage:
+//
+//	evalhw -exp all                     # everything at CI scale
+//	evalhw -exp fig5 -packets 16000000  # bigger trace
+//	evalhw -exp fig5 -full              # the paper's full scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfq/internal/chiparea"
+	"perfq/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig2|fig5|fig6|census|area|backing|all")
+		packets = flag.Int64("packets", 0, "override trace packet count (fig5/census)")
+		seed    = flag.Int64("seed", 2016, "trace seed")
+		full    = flag.Bool("full", false, "paper-scale fig5 (157M packets, 2^16..2^21 pairs)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	ran := false
+	run := func(name string, f func() error) {
+		ran = true
+		fmt.Printf("\n================ %s ================\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "evalhw: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig2") {
+		run("Figure 2: example queries", func() error {
+			cfg := harness.DefaultFig2()
+			cfg.Seed = *seed
+			if progress != nil {
+				cfg.Progress = progress
+			}
+			res, err := harness.RunFig2(cfg)
+			if err != nil {
+				return err
+			}
+			res.Format(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig5") {
+		run("Figure 5: eviction rates", func() error {
+			cfg := harness.DefaultFig5()
+			if *full {
+				cfg = harness.FullFig5()
+			}
+			cfg.Seed = *seed
+			if *packets > 0 {
+				cfg.Packets = *packets
+			}
+			if progress != nil {
+				cfg.Progress = progress
+			}
+			res, err := harness.RunFig5(cfg)
+			if err != nil {
+				return err
+			}
+			res.Format(os.Stdout)
+			frac, gap, pairs := res.Headline8Way()
+			fmt.Printf("headline (scaled 32-Mbit point, %d pairs): 8-way evicts %.2f%% of packets "+
+				"(paper: 3.55%%), %.1f%% above the fully-associative bound (paper: within 2%%)\n",
+				pairs, frac*100, gap*100)
+			fmt.Printf("at the typical workload that is %.0fK evictions/s (paper: 802K/s)\n",
+				frac*harness.TypicalPktPerSec/1e3)
+			return nil
+		})
+	}
+	if want("fig6") {
+		run("Figure 6: accuracy for non-linear queries", func() error {
+			cfg := harness.DefaultFig6()
+			cfg.Seed = *seed
+			if progress != nil {
+				cfg.Progress = progress
+			}
+			res, err := harness.RunFig6(cfg)
+			if err != nil {
+				return err
+			}
+			res.Format(os.Stdout)
+			return nil
+		})
+	}
+	if want("census") {
+		run("Unique-flow census", func() error {
+			n := int64(4_000_000)
+			if *packets > 0 {
+				n = *packets
+			}
+			res, err := harness.RunCensus(*seed, n)
+			if err != nil {
+				return err
+			}
+			res.Format(os.Stdout)
+			return nil
+		})
+	}
+	if want("area") {
+		run("Chip area model (§3.3)", func() error {
+			fmt.Printf("SRAM density %.0f Kb/mm², reference die %.0f mm² (the paper's assumptions)\n\n",
+				chiparea.SRAMKbPerMM2, chiparea.ReferenceDieMM2)
+			fmt.Printf("%10s %12s %10s %10s\n", "Mbit", "pairs", "mm²", "% of die")
+			for _, mbit := range []float64{8, 16, 32, 64, 128, 256, 486} {
+				bits := int64(mbit * 1e6)
+				fmt.Printf("%10.0f %12d %10.2f %9.2f%%\n",
+					mbit, chiparea.MbitToPairs(mbit), chiparea.SRAMAreaMM2(bits), 100*chiparea.DieFraction(bits))
+			}
+			fmt.Printf("\nthe paper's 32-Mbit target costs %.2f%% of the die (claim: < 2.5%%)\n",
+				100*chiparea.DieFraction(32e6))
+			return nil
+		})
+	}
+	if want("backing") {
+		run("Backing-store throughput", func() error {
+			res, err := harness.RunBackingThroughput(300_000)
+			if err != nil {
+				return err
+			}
+			res.Format(os.Stdout)
+			return nil
+		})
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "evalhw: unknown experiment %q (fig2|fig5|fig6|census|area|backing|all)\n", *exp)
+		os.Exit(2)
+	}
+}

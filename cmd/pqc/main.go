@@ -1,0 +1,56 @@
+// pqc is the performance-query compiler: it parses, checks and compiles a
+// query program, then reports the plan — stage placement, physical
+// key-value stores after fusion, key layouts, fold programs, and the
+// linear-in-state classification that decides merge behaviour (§3.2).
+//
+// Usage:
+//
+//	pqc query.pq
+//	echo 'SELECT COUNT GROUPBY 5tuple' | pqc -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"perfq"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pqc <file.pq | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pqc: %v\n", err)
+		os.Exit(1)
+	}
+
+	q, err := perfq.Compile(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pqc: %v\n", err)
+		os.Exit(1)
+	}
+	q.Describe(os.Stdout)
+	fmt.Printf("results: %v\n", q.Results())
+	fmt.Printf("linear in state: %v\n", q.LinearInState())
+	if !q.LinearInState() {
+		fmt.Println("  (no exact merge: the backing store keeps per-epoch values and")
+		fmt.Println("   flags keys evicted more than once as invalid — see Fig. 6)")
+	}
+}

@@ -1,0 +1,151 @@
+// tracegen synthesizes packet-observation traces: a CAIDA-like WAN mix or
+// a datacenter mix, written as a pqt record file (the native format every
+// other tool reads) or as a pcap of re-synthesized packets.
+//
+// Usage:
+//
+//	tracegen -preset wan -duration 60s -o trace.pqt
+//	tracegen -preset dc -duration 10s -format pcap -o trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"perfq/internal/packet"
+	"perfq/internal/pcap"
+	"perfq/internal/trace"
+	"perfq/internal/tracegen"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "wan", "workload preset: wan|dc")
+		duration = flag.Duration("duration", 30*time.Second, "simulated capture length")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		maxPkts  = flag.Int64("packets", 0, "stop after this many packets (0 = duration only)")
+		format   = flag.String("format", "pqt", "output format: pqt|pcap")
+		out      = flag.String("o", "-", "output file (- = stdout)")
+	)
+	flag.Parse()
+
+	var cfg tracegen.Config
+	switch *preset {
+	case "wan":
+		cfg = tracegen.WANConfig(*seed, *duration)
+	case "dc":
+		cfg = tracegen.DCConfig(*seed, *duration)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	cfg.MaxPackets = *maxPkts
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	gen := tracegen.New(cfg)
+	var n int64
+	var err error
+	switch *format {
+	case "pqt":
+		n, err = writePQT(w, gen)
+	case "pcap":
+		n, err = writePcap(w, gen)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records (%d flows started)\n", n, gen.FlowsStarted())
+}
+
+func writePQT(w io.Writer, gen *tracegen.Generator) (int64, error) {
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	var rec trace.Record
+	for {
+		err := gen.Next(&rec)
+		if err == io.EOF {
+			return tw.Count(), tw.Flush()
+		}
+		if err != nil {
+			return tw.Count(), err
+		}
+		if err := tw.Write(&rec); err != nil {
+			return tw.Count(), err
+		}
+	}
+}
+
+// writePcap re-synthesizes wire-format packets from the records so the
+// trace can be consumed by standard tooling.
+func writePcap(w io.Writer, gen *tracegen.Generator) (int64, error) {
+	pw, err := pcap.NewWriter(w, 0)
+	if err != nil {
+		return 0, err
+	}
+	var rec trace.Record
+	buf := make([]byte, 2048)
+	for {
+		err := gen.Next(&rec)
+		if err == io.EOF {
+			return pw.Count(), pw.Flush()
+		}
+		if err != nil {
+			return pw.Count(), err
+		}
+		p := packetFromRecord(&rec)
+		n, err := p.Encode(buf)
+		if err != nil {
+			return pw.Count(), err
+		}
+		if err := pw.Write(rec.Tin, buf[:n], int(rec.PktLen)); err != nil {
+			return pw.Count(), err
+		}
+	}
+}
+
+func packetFromRecord(rec *trace.Record) *packet.Packet {
+	p := &packet.Packet{
+		Layers: packet.LayerEthernet | packet.LayerIPv4,
+		Eth: packet.Ethernet{
+			Dst: packet.EthAddr{2, 0, 0, 0, 0, 1}, Src: packet.EthAddr{2, 0, 0, 0, 0, 2},
+			EtherType: packet.EtherTypeIPv4,
+		},
+		IP4: packet.IPv4{
+			Version: 4, IHL: 5, TTL: 62, Protocol: rec.Proto,
+			Src: rec.SrcIP, Dst: rec.DstIP,
+		},
+		PayloadLen: int(rec.PayloadLen),
+	}
+	switch rec.Proto {
+	case packet.ProtoTCP:
+		p.Layers |= packet.LayerTCP
+		p.TCP = packet.TCP{
+			SrcPort: rec.SrcPort, DstPort: rec.DstPort,
+			Seq: rec.TCPSeq, DataOffset: 5, Flags: rec.TCPFlags,
+			Window: 65535,
+		}
+	case packet.ProtoUDP:
+		p.Layers |= packet.LayerUDP
+		p.UDP = packet.UDP{SrcPort: rec.SrcPort, DstPort: rec.DstPort}
+	}
+	return p
+}

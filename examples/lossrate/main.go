@@ -1,0 +1,72 @@
+// Per-flow loss rate via the restricted JOIN (Fig. 2, "Per-flow loss
+// rate"): two GROUPBY counters — all packets, and packets with
+// tout == infinity — joined on the 5-tuple. The compiler fuses both
+// queries into a single switch key-value store (the paper's "JOINs
+// reduce to GROUPBYs"), and the drops come from a real tail-drop queue
+// simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perfq"
+	"perfq/internal/netsim"
+	"perfq/internal/topo"
+)
+
+const lossQuery = `
+R1 = SELECT COUNT GROUPBY 5tuple
+R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
+R3 = SELECT R2.count / R1.count AS lossrate FROM R1 JOIN R2 ON 5tuple
+`
+
+func main() {
+	// A 2-switch chain with shallow buffers; several flows blast through
+	// the shared bottleneck at line rate while others trickle politely.
+	chain := topo.Chain(2, topo.Options{BufBytes: 24 << 10, LinkRateBps: 1e9})
+	sim := netsim.New(chain, 7)
+	hosts := chain.Hosts()
+	for i := 0; i < 6; i++ {
+		if err := sim.AddFlow(netsim.Spec{
+			Src: hosts[0], Dst: hosts[1],
+			Packets: 400, GapNs: 1, // back-to-back: will overrun the buffer
+			SrcPort: uint16(6000 + i),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := sim.AddFlow(netsim.Spec{
+			Src: hosts[0], Dst: hosts[1],
+			Packets: 200, GapNs: 120_000, // paced: aggregate stays under the bottleneck
+			SrcPort: uint16(7000 + i),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	recs, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := perfq.Compile(lossQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== compilation: the join fuses into one switch store ==")
+	q.Describe(os.Stdout)
+
+	res, err := q.Run(perfq.Records(recs), perfq.WithCache(512, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := res.Result()
+	fmt.Printf("\n== per-flow loss rates (%d flows with at least one drop) ==\n", tab.Len())
+	tab.Format(os.Stdout, 16)
+
+	fmt.Println("\nunpaced flows (srcport 6xxx) lose a large share at the shallow")
+	fmt.Println("bottleneck; paced flows (srcport 7xxx) do not appear (inner join:")
+	fmt.Println("no drops, no R2 row).")
+}

@@ -1,0 +1,208 @@
+// Package backing implements the off-chip half of the split key-value
+// store (§3.2): a large table that absorbs cache evictions.
+//
+// Reconciliation depends on the fold's merge class:
+//
+//   - Linear-in-state folds merge exactly: the store replays the epoch's
+//     first packet against its current value and applies the evicted
+//     running product (fold.MergeWithFirstRec), so at any flush point the
+//     store holds precisely the value an infinite cache would have.
+//   - Associative folds (MAX/MIN) combine values directly.
+//   - Everything else appends one value per eviction epoch; keys that
+//     accumulate more than one epoch are marked invalid, and the fraction
+//     of valid keys is Figure 6's accuracy metric. Each epoch value is
+//     still correct over its own interval, which is why the paper reports
+//     higher accuracy for shorter query windows.
+package backing
+
+import (
+	"fmt"
+	"sort"
+
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+	"perfq/internal/packet"
+)
+
+// Epoch is one eviction's worth of state for a non-mergeable fold.
+type Epoch struct {
+	State []float64
+}
+
+// entry is the store's per-key record.
+type entry struct {
+	state  []float64 // merged value (linear/assoc folds)
+	epochs []Epoch   // per-eviction values (non-mergeable folds)
+}
+
+// Store is the backing key-value store.
+type Store struct {
+	f    *fold.Func
+	m    int
+	keys map[packet.Key128]*entry
+
+	merges  uint64
+	appends uint64
+}
+
+// New creates a store for the given fold. The fold's Merge kind selects
+// reconciliation behaviour.
+func New(f *fold.Func) *Store {
+	return &Store{f: f, m: f.StateLen(), keys: make(map[packet.Key128]*entry)}
+}
+
+// HandleEviction implements the cache's eviction callback contract.
+func (s *Store) HandleEviction(ev *kvstore.Eviction) {
+	e := s.keys[ev.Key]
+	switch s.f.Merge {
+	case fold.MergeLinear:
+		if ev.P == nil || ev.FirstRec == nil {
+			// The cache ran without exact-merge machinery; fall back to
+			// epoch semantics so results are still usable per interval.
+			s.appendEpoch(ev)
+			return
+		}
+		if e == nil {
+			e = &entry{state: make([]float64, s.m)}
+			s.f.Init(e.state)
+			s.keys[ev.Key] = e
+		}
+		in := fold.Input{Rec: ev.FirstRec}
+		fold.MergeWithFirstRec(s.f, e.state, ev.State, ev.P, e.state, &in)
+		s.merges++
+	case fold.MergeAssoc:
+		if e == nil {
+			e = &entry{state: make([]float64, s.m)}
+			s.f.Init(e.state)
+			s.keys[ev.Key] = e
+		}
+		s.f.Combine(e.state, ev.State)
+		s.merges++
+	default:
+		s.appendEpoch(ev)
+	}
+}
+
+func (s *Store) appendEpoch(ev *kvstore.Eviction) {
+	e := s.keys[ev.Key]
+	if e == nil {
+		e = &entry{}
+		s.keys[ev.Key] = e
+	}
+	st := make([]float64, s.m)
+	copy(st, ev.State)
+	e.epochs = append(e.epochs, Epoch{State: st})
+	s.appends++
+}
+
+// Get returns the merged value for key. For non-mergeable folds it returns
+// the value only when the key is valid (exactly one epoch).
+func (s *Store) Get(key packet.Key128) ([]float64, bool) {
+	e, ok := s.keys[key]
+	if !ok {
+		return nil, false
+	}
+	if e.state != nil {
+		return e.state, true
+	}
+	if len(e.epochs) == 1 {
+		return e.epochs[0].State, true
+	}
+	return nil, false
+}
+
+// Epochs returns every per-eviction value recorded for key (non-mergeable
+// folds). Multi-epoch keys are invalid as totals but each epoch is correct
+// over its own interval.
+func (s *Store) Epochs(key packet.Key128) []Epoch {
+	if e, ok := s.keys[key]; ok {
+		return e.epochs
+	}
+	return nil
+}
+
+// Valid reports whether key's value is trustworthy for the full window:
+// always true for mergeable folds, one-epoch-only for the rest.
+func (s *Store) Valid(key packet.Key128) bool {
+	e, ok := s.keys[key]
+	if !ok {
+		return false
+	}
+	if e.state != nil {
+		return true
+	}
+	return len(e.epochs) == 1
+}
+
+// Len returns the number of keys present.
+func (s *Store) Len() int { return len(s.keys) }
+
+// Accuracy returns (valid, total) key counts — Figure 6's metric.
+func (s *Store) Accuracy() (valid, total int) {
+	for _, e := range s.keys {
+		total++
+		if e.state != nil || len(e.epochs) == 1 {
+			valid++
+		}
+	}
+	return valid, total
+}
+
+// Range calls fn for every key with its merged value (or the single-epoch
+// value), skipping invalid keys. Iteration order is unspecified.
+func (s *Store) Range(fn func(key packet.Key128, state []float64) bool) {
+	for k, e := range s.keys {
+		switch {
+		case e.state != nil:
+			if !fn(k, e.state) {
+				return
+			}
+		case len(e.epochs) == 1:
+			if !fn(k, e.epochs[0].State) {
+				return
+			}
+		}
+	}
+}
+
+// SortedKeys returns all keys in byte order, for deterministic reporting.
+func (s *Store) SortedKeys() []packet.Key128 {
+	out := make([]packet.Key128, 0, len(s.keys))
+	for k := range s.keys {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Reset drops all keys.
+func (s *Store) Reset() {
+	s.keys = make(map[packet.Key128]*entry)
+	s.merges, s.appends = 0, 0
+}
+
+// Stats describes reconciliation activity.
+type Stats struct {
+	Keys    int
+	Merges  uint64
+	Appends uint64
+}
+
+// Stats returns reconciliation counters.
+func (s *Store) Stats() Stats {
+	return Stats{Keys: len(s.keys), Merges: s.merges, Appends: s.appends}
+}
+
+// String summarizes the store.
+func (s *Store) String() string {
+	return fmt.Sprintf("backing{fold=%s keys=%d merges=%d appends=%d}",
+		s.f.Name(), len(s.keys), s.merges, s.appends)
+}

@@ -1,0 +1,266 @@
+package backing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+func keyN(n int) packet.Key128 {
+	return packet.FiveTuple{
+		Src:     packet.Addr4FromUint32(uint32(n)),
+		Dst:     packet.Addr4{10, 0, 0, 1},
+		SrcPort: uint16(n), DstPort: 443, Proto: packet.ProtoTCP,
+	}.Pack()
+}
+
+func randomRec(rng *rand.Rand) *trace.Record {
+	tin := rng.Int63n(1 << 30)
+	return &trace.Record{
+		PktLen: uint32(64 + rng.Intn(1400)), PayloadLen: uint32(rng.Intn(1400)),
+		TCPSeq: rng.Uint32() >> 8,
+		Tin:    tin, Tout: tin + rng.Int63n(1<<16) + 1,
+	}
+}
+
+// driveThroughCache replays per-key record streams through a small cache
+// attached to a Store, then flushes, and returns the store.
+func driveThroughCache(t *testing.T, f *fold.Func, exact bool, geom kvstore.Geometry, streams map[int][]*trace.Record) *Store {
+	t.Helper()
+	store := New(f)
+	cache, err := kvstore.New(kvstore.Config{
+		Geometry:   geom,
+		Fold:       f,
+		ExactMerge: exact,
+		OnEvict:    store.HandleEviction,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave streams round-robin to force cache churn.
+	idx := make(map[int]int)
+	for {
+		progressed := false
+		for k, recs := range streams {
+			i := idx[k]
+			if i < len(recs) {
+				cache.Process(keyN(k), &fold.Input{Rec: recs[i]})
+				idx[k] = i + 1
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	cache.Flush()
+	return store
+}
+
+// TestLinearEndToEndMatchesGroundTruth is the split design's headline
+// property: a tiny cache (heavy evictions) plus merging backing store must
+// reproduce, for every linear fold, exactly what an infinite table would
+// hold.
+func TestLinearEndToEndMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	lat := fold.Bin{Op: fold.OpSub, L: fold.FieldRef(trace.FieldTout), R: fold.FieldRef(trace.FieldTin)}
+	makeFuncs := func() []*fold.Func {
+		return []*fold.Func{fold.Count(), fold.Sum(lat), fold.Avg(lat), fold.Ewma(lat, 0.125)}
+	}
+
+	streams := map[int][]*trace.Record{}
+	for k := 0; k < 40; k++ {
+		n := 1 + rng.Intn(60)
+		recs := make([]*trace.Record, n)
+		for i := range recs {
+			recs[i] = randomRec(rng)
+		}
+		streams[k] = recs
+	}
+
+	for _, f := range makeFuncs() {
+		// A 16-pair cache over 40 keys churns hard.
+		for _, geom := range []kvstore.Geometry{
+			kvstore.HashTable(16),
+			kvstore.SetAssociative(16, 4),
+			kvstore.FullyAssociative(16),
+		} {
+			store := driveThroughCache(t, f, true, geom, streams)
+
+			for k, recs := range streams {
+				want := make([]float64, f.StateLen())
+				f.Init(want)
+				for _, r := range recs {
+					f.Update(want, &fold.Input{Rec: r})
+				}
+				got, ok := store.Get(keyN(k))
+				if !ok {
+					t.Fatalf("%s/%v: key %d missing", f.Name(), geom, k)
+				}
+				for i := range want {
+					tol := 1e-9 * math.Max(1, math.Abs(want[i]))
+					if math.Abs(got[i]-want[i]) > tol {
+						t.Fatalf("%s/%v key %d: got %v want %v", f.Name(), geom, k, got, want)
+					}
+				}
+			}
+			if v, total := store.Accuracy(); v != total {
+				t.Errorf("%s/%v: mergeable fold reported %d/%d valid", f.Name(), geom, v, total)
+			}
+		}
+	}
+}
+
+// TestAssocEndToEnd checks the MAX fold through the same machinery.
+func TestAssocEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	f := fold.Max(fold.FieldRef(trace.FieldPktLen))
+	streams := map[int][]*trace.Record{}
+	for k := 0; k < 30; k++ {
+		n := 1 + rng.Intn(40)
+		recs := make([]*trace.Record, n)
+		for i := range recs {
+			recs[i] = randomRec(rng)
+		}
+		streams[k] = recs
+	}
+	store := driveThroughCache(t, f, false, kvstore.SetAssociative(8, 2), streams)
+	for k, recs := range streams {
+		want := math.Inf(-1)
+		for _, r := range recs {
+			if v := float64(r.PktLen); v > want {
+				want = v
+			}
+		}
+		got, ok := store.Get(keyN(k))
+		if !ok || got[0] != want {
+			t.Errorf("key %d: got %v,%v want %v", k, got, ok, want)
+		}
+	}
+}
+
+// TestEpochSemantics checks the non-mergeable path: single-epoch keys are
+// valid, multi-epoch keys invalid, and Accuracy reports the fraction.
+func TestEpochSemantics(t *testing.T) {
+	// A one-state fold with no declared merge: last-value.
+	last := &fold.Func{
+		Prog: &fold.Program{
+			Name:     "lastlen",
+			NumState: 1,
+			Body:     []fold.Stmt{fold.Assign{Dst: 0, RHS: fold.FieldRef(trace.FieldPktLen)}},
+		},
+	}
+	store := New(last)
+
+	ev := func(k int, v float64) {
+		store.HandleEviction(&kvstore.Eviction{
+			Key:    keyN(k),
+			State:  []float64{v},
+			Reason: kvstore.EvictCapacity,
+		})
+	}
+	ev(1, 100) // key 1: one epoch → valid
+	ev(2, 200) // key 2: two epochs → invalid
+	ev(2, 201)
+	ev(3, 300) // key 3: three epochs → invalid
+	ev(3, 301)
+	ev(3, 302)
+
+	if !store.Valid(keyN(1)) {
+		t.Error("single-epoch key reported invalid")
+	}
+	if store.Valid(keyN(2)) || store.Valid(keyN(3)) {
+		t.Error("multi-epoch key reported valid")
+	}
+	if store.Valid(keyN(99)) {
+		t.Error("absent key reported valid")
+	}
+	if v, total := store.Accuracy(); v != 1 || total != 3 {
+		t.Errorf("Accuracy = %d/%d, want 1/3", v, total)
+	}
+	if got := store.Epochs(keyN(3)); len(got) != 3 || got[2].State[0] != 302 {
+		t.Errorf("Epochs(3) = %v", got)
+	}
+	if _, ok := store.Get(keyN(2)); ok {
+		t.Error("Get returned a value for an invalid key")
+	}
+	if v, ok := store.Get(keyN(1)); !ok || v[0] != 100 {
+		t.Errorf("Get(1) = %v,%v", v, ok)
+	}
+}
+
+// TestLinearWithoutExactMergeFallsBack: evictions lacking P/FirstRec from
+// a cache run without ExactMerge must degrade to epoch semantics, not
+// corrupt values.
+func TestLinearWithoutExactMergeFallsBack(t *testing.T) {
+	f := fold.Count()
+	store := New(f)
+	store.HandleEviction(&kvstore.Eviction{Key: keyN(1), State: []float64{5}})
+	store.HandleEviction(&kvstore.Eviction{Key: keyN(1), State: []float64{3}})
+	if store.Valid(keyN(1)) {
+		t.Error("two unmergeable epochs reported valid")
+	}
+	if st := store.Stats(); st.Appends != 2 || st.Merges != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestRangeAndSortedKeys(t *testing.T) {
+	f := fold.Count()
+	store := New(f)
+	r := randomRec(rand.New(rand.NewSource(33)))
+	for k := 0; k < 10; k++ {
+		store.HandleEviction(&kvstore.Eviction{
+			Key: keyN(k), State: []float64{float64(k)},
+			P: []float64{1}, FirstRec: r,
+		})
+	}
+	seen := 0
+	store.Range(func(key packet.Key128, state []float64) bool {
+		seen++
+		return true
+	})
+	if seen != 10 {
+		t.Errorf("Range visited %d keys", seen)
+	}
+	keys := store.SortedKeys()
+	if len(keys) != 10 {
+		t.Fatalf("SortedKeys returned %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		a, b := keys[i-1], keys[i]
+		for x := range a {
+			if a[x] != b[x] {
+				if a[x] > b[x] {
+					t.Fatal("SortedKeys out of order")
+				}
+				break
+			}
+		}
+	}
+	store.Reset()
+	if store.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestEarlyRangeExit(t *testing.T) {
+	store := New(fold.Count())
+	r := randomRec(rand.New(rand.NewSource(34)))
+	for k := 0; k < 5; k++ {
+		store.HandleEviction(&kvstore.Eviction{Key: keyN(k), State: []float64{1}, P: []float64{1}, FirstRec: r})
+	}
+	count := 0
+	store.Range(func(packet.Key128, []float64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("Range did not stop early: %d", count)
+	}
+}

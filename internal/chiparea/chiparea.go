@@ -1,0 +1,37 @@
+// Package chiparea implements the paper's back-of-the-envelope silicon
+// cost model (§3.3, §4): SRAM at 7000 Kb/mm² against a 200 mm² reference
+// switching chip, with the digital logic around the key-value store
+// assumed negligible relative to the memory.
+package chiparea
+
+// Model parameters from the paper.
+const (
+	// SRAMKbPerMM2 is the assumed SRAM density (ARM 28nm figure cited as
+	// [13]).
+	SRAMKbPerMM2 = 7000.0
+	// ReferenceDieMM2 is the smallest switching-chip die the paper cites
+	// ([20]).
+	ReferenceDieMM2 = 200.0
+	// PairBits is the SRAM cost of one key-value pair (104-bit key +
+	// 24-bit value).
+	PairBits = 128
+)
+
+// SRAMAreaMM2 returns the area of an SRAM of the given size in bits.
+func SRAMAreaMM2(bits int64) float64 {
+	return float64(bits) / 1000.0 / SRAMKbPerMM2
+}
+
+// DieFraction returns the cache's share of the reference die (0..1).
+func DieFraction(bits int64) float64 {
+	return SRAMAreaMM2(bits) / ReferenceDieMM2
+}
+
+// PairsToBits converts a pair count to SRAM bits at 128 bits/pair.
+func PairsToBits(pairs int64) int64 { return pairs * PairBits }
+
+// BitsToMbit converts bits to Mbit (10^6 bits, as the paper's axis).
+func BitsToMbit(bits int64) float64 { return float64(bits) / 1e6 }
+
+// MbitToPairs converts a cache size in Mbit to pairs.
+func MbitToPairs(mbit float64) int64 { return int64(mbit * 1e6 / PairBits) }

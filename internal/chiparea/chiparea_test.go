@@ -1,0 +1,33 @@
+package chiparea
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperHeadlines(t *testing.T) {
+	// §4: "a 32-Mbit cache in SRAM costs under 2.5% additional area".
+	if f := DieFraction(32e6); f >= 0.025 {
+		t.Errorf("32 Mbit = %.3f of die, paper claims < 2.5%%", f)
+	}
+	// §4: storing all 3.8M keys needs ~486 Mbit — a prohibitive share.
+	bits := PairsToBits(3_800_000)
+	if mb := BitsToMbit(bits); math.Abs(mb-486.4) > 0.1 {
+		t.Errorf("3.8M pairs = %.1f Mbit, want ≈486", mb)
+	}
+	if f := DieFraction(bits); f < 0.30 {
+		t.Errorf("486 Mbit = %.3f of die; the paper calls ~38%% prohibitive", f)
+	}
+}
+
+func TestConversionsRoundTrip(t *testing.T) {
+	if got := MbitToPairs(32); got != 250000 {
+		t.Errorf("MbitToPairs(32) = %d", got)
+	}
+	if got := BitsToMbit(PairsToBits(250000)); got != 32 {
+		t.Errorf("round trip = %v", got)
+	}
+	if a := SRAMAreaMM2(7000 * 1000); a != 1.0 {
+		t.Errorf("7000 Kb should be exactly 1 mm², got %v", a)
+	}
+}

@@ -1,0 +1,558 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"perfq/internal/fold"
+	"perfq/internal/lang"
+	"perfq/internal/linear"
+)
+
+// StageKind classifies plan stages.
+type StageKind uint8
+
+// Stage kinds.
+const (
+	KindSelect StageKind = iota // per-row filter/projection
+	KindGroup                   // GROUPBY aggregation
+	KindJoin                    // key-equal join of two group results
+)
+
+// String names the kind.
+func (k StageKind) String() string {
+	switch k {
+	case KindSelect:
+		return "select"
+	case KindGroup:
+		return "group"
+	default:
+		return "join"
+	}
+}
+
+// OutCol materializes one output value column from a group stage's state
+// vector (StateRef(i) reads state[i]; e.g. AVG projects sum/count).
+type OutCol struct {
+	Name string
+	Expr fold.Expr
+}
+
+// Stage is one compiled query.
+type Stage struct {
+	Name   string
+	Kind   StageKind
+	Schema []string // output column names, keys first
+
+	// Input is the upstream stage; nil means the stage reads the raw
+	// table T. Joins use Left/Right.
+	Input       *Stage
+	Left, Right *Stage
+
+	// Where filters input rows. Over T it uses FieldRef nodes (the
+	// match part of a match-action entry); over derived tables, ColRef.
+	Where fold.Pred
+
+	// Select stages: output column expressions.
+	Cols []fold.Expr
+
+	// Group stages.
+	Key      *KeySpec
+	Fold     *fold.Func // the stage's (possibly multi-fold) aggregation
+	Out      []OutCol   // value-column projections from the state vector
+	OnSwitch bool       // true for group stages over T
+
+	// Join stages: expressions over the combined row (left row columns
+	// first, then right row columns).
+	JoinCols  []fold.Expr
+	JoinWhere fold.Pred
+	OnCols    int
+
+	// Switch placement (filled by the fusion pass for OnSwitch stages).
+	Program *SwitchProgram // physical store this stage reads
+	Member  int            // index of this stage within the program
+}
+
+// SwitchProgram is one physical key-value store instance on the switch: a
+// key spec plus a fused fold whose state vector concatenates every member
+// stage's state (each guarded by its WHERE), with one presence counter per
+// member so the collector can reconstruct which keys each logical stage
+// would have produced.
+type SwitchProgram struct {
+	Key     *KeySpec
+	Fold    *fold.Func
+	Members []*Stage
+	// Offsets[i] is where member i's state begins; PresIdx[i] its
+	// presence counter.
+	Offsets []int
+	PresIdx []int
+}
+
+// Plan is a compiled program.
+type Plan struct {
+	Stages   []*Stage // topological (declaration) order
+	ByName   map[string]*Stage
+	Results  []*Stage
+	Programs []*SwitchProgram // physical switch-resident stores
+}
+
+// Compile lowers a checked program to a plan and runs the fusion pass.
+// Linear-in-state analysis annotates every switch program's fold so the
+// datapath knows its merge class.
+func Compile(chk *lang.Checked) (*Plan, error) {
+	p := &Plan{ByName: map[string]*Stage{}}
+	c := &compilerCtx{chk: chk, plan: p}
+	for _, cq := range chk.Queries {
+		st, err := c.compileQuery(cq)
+		if err != nil {
+			return nil, err
+		}
+		p.Stages = append(p.Stages, st)
+		p.ByName[st.Name] = st
+	}
+	for _, cq := range chk.Results {
+		p.Results = append(p.Results, p.ByName[cq.Name])
+	}
+	if err := p.fuse(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type compilerCtx struct {
+	chk  *lang.Checked
+	plan *Plan
+}
+
+func (c *compilerCtx) compileQuery(cq *lang.CheckedQuery) (*Stage, error) {
+	st := &Stage{Name: cq.Name}
+	for i := range cq.Schema {
+		st.Schema = append(st.Schema, cq.Schema[i].Name)
+	}
+	switch {
+	case cq.Left != nil:
+		return c.compileJoin(cq, st)
+	case cq.IsGroup:
+		return c.compileGroup(cq, st)
+	default:
+		return c.compileSelect(cq, st)
+	}
+}
+
+// inputStage resolves the upstream stage (nil for T).
+func (c *compilerCtx) inputStage(cq *lang.CheckedQuery) *Stage {
+	if cq.Input == nil {
+		return nil
+	}
+	return c.plan.ByName[cq.Input.Name]
+}
+
+func (c *compilerCtx) compileSelect(cq *lang.CheckedQuery, st *Stage) (*Stage, error) {
+	st.Kind = KindSelect
+	st.Input = c.inputStage(cq)
+	env := c.envFor(cq.Input)
+	if cq.Where != nil {
+		pred, err := lowerPred(cq.Where, env)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = pred
+	}
+	for _, col := range cq.SelectedCols {
+		e, err := lowerExpr(col.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, e)
+	}
+	return st, nil
+}
+
+func (c *compilerCtx) compileGroup(cq *lang.CheckedQuery, st *Stage) (*Stage, error) {
+	st.Kind = KindGroup
+	st.Input = c.inputStage(cq)
+	st.OnSwitch = st.Input == nil
+	env := c.envFor(cq.Input)
+
+	if cq.Input == nil {
+		st.Key = newKeySpecFields(cq.GroupFields)
+	} else {
+		st.Key = newKeySpecCols(cq.GroupCols)
+	}
+
+	if cq.Where != nil {
+		pred, err := lowerPred(cq.Where, env)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = pred
+	}
+
+	// Lower every fold use and concatenate their state vectors into one
+	// program (the single value of the key-value store).
+	var (
+		body   []fold.Stmt
+		names  []string
+		s0     []float64
+		offset int
+	)
+	progName := make([]string, 0, len(cq.Folds)+1)
+	for _, fu := range cq.Folds {
+		f, outs, err := c.lowerFoldUse(&fu, env)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, renumberStmts(f.Prog.Body, offset)...)
+		for i := 0; i < f.StateLen(); i++ {
+			if f.Prog.S0 != nil {
+				s0 = append(s0, f.Prog.S0[i])
+			} else {
+				s0 = append(s0, 0)
+			}
+			n := fmt.Sprintf("s%d", offset+i)
+			if f.Prog.StateNames != nil {
+				n = f.Prog.StateNames[i]
+			}
+			names = append(names, n)
+		}
+		for _, oc := range outs {
+			st.Out = append(st.Out, OutCol{Name: oc.Name, Expr: renumberExpr(oc.Expr, offset)})
+		}
+		progName = append(progName, f.Name())
+		offset += f.StateLen()
+	}
+	if len(cq.Folds) == 0 {
+		// DISTINCT: a bare presence counter (never projected).
+		cf := fold.Count()
+		body = renumberStmts(cf.Prog.Body, 0)
+		names = []string{"present"}
+		s0 = []float64{0}
+		progName = append(progName, "distinct")
+		offset = 1
+	}
+	prog := &fold.Program{
+		Name:       strings.Join(progName, "+"),
+		NumState:   offset,
+		S0:         s0,
+		Body:       body,
+		StateNames: names,
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("stage %s: %w", st.Name, err)
+	}
+	st.Fold = &fold.Func{Prog: prog}
+	// Annotate with merge metadata; non-linear folds simply stay
+	// MergeNone (epoch semantics).
+	_ = linear.Annotate(st.Fold)
+	return st, nil
+}
+
+// lowerFoldUse lowers one aggregation to a fold.Func plus its output
+// projections (state-relative).
+func (c *compilerCtx) lowerFoldUse(fu *lang.FoldUse, env *lowerEnv) (*fold.Func, []OutCol, error) {
+	colName := func(def string) string {
+		if fu.Alias != "" {
+			return fu.Alias
+		}
+		return def
+	}
+	if fu.Decl == nil {
+		// Builtin aggregate.
+		var arg fold.Expr
+		if len(fu.Args) > 0 {
+			var err error
+			arg, err = lowerExpr(fu.Args[0], env)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		switch fu.Name {
+		case lang.AggCount:
+			return fold.Count(), []OutCol{{Name: colName("count"), Expr: fold.StateRef(0)}}, nil
+		case lang.AggSum:
+			return fold.Sum(arg), []OutCol{{Name: colName(canonName(fu)), Expr: fold.StateRef(0)}}, nil
+		case lang.AggMax:
+			return fold.Max(arg), []OutCol{{Name: colName(canonName(fu)), Expr: fold.StateRef(0)}}, nil
+		case lang.AggMin:
+			return fold.Min(arg), []OutCol{{Name: colName(canonName(fu)), Expr: fold.StateRef(0)}}, nil
+		case lang.AggAvg:
+			return fold.Avg(arg), []OutCol{{
+				Name: colName(canonName(fu)),
+				Expr: fold.Bin{Op: fold.OpDiv, L: fold.StateRef(0), R: fold.StateRef(1)},
+			}}, nil
+		case lang.AggEwma:
+			alpha, err := c.chkConst(fu.Args[1])
+			if err != nil {
+				return nil, nil, err
+			}
+			return fold.Ewma(arg, alpha), []OutCol{{Name: colName(canonName(fu)), Expr: fold.StateRef(0)}}, nil
+		default:
+			return nil, nil, fmt.Errorf("compiler: unknown aggregate %q", fu.Name)
+		}
+	}
+
+	// User fold: bind state params to indices, row params to input refs.
+	fd := fu.Decl
+	fenv := &lowerEnv{
+		consts: c.chk.Consts,
+		state:  map[string]int{},
+		binds:  map[string]fold.Expr{},
+		input:  env.input,
+		chk:    c.chk,
+	}
+	for i, sp := range fd.StateParams {
+		fenv.state[sp] = i
+	}
+	for _, rp := range fd.RowParams {
+		ref, err := lowerExpr(&lang.Ident{Name: rp}, env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fold %s: param %s: %w", fd.Name, rp, err)
+		}
+		fenv.binds[rp] = ref
+	}
+	body, err := lowerStmts(fd.Body, fenv)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := &fold.Program{
+		Name:       fd.Name,
+		NumState:   len(fd.StateParams),
+		Body:       body,
+		StateNames: append([]string(nil), fd.StateParams...),
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, nil, err
+	}
+	outs := make([]OutCol, len(fd.StateParams))
+	for i, sp := range fd.StateParams {
+		outs[i] = OutCol{Name: sp, Expr: fold.StateRef(i)}
+	}
+	if len(fd.StateParams) == 1 && fu.Alias != "" {
+		outs[0].Name = fu.Alias
+	}
+	return &fold.Func{Prog: prog}, outs, nil
+}
+
+func canonName(fu *lang.FoldUse) string {
+	if len(fu.Args) == 0 {
+		return fu.Name
+	}
+	args := make([]string, len(fu.Args))
+	for i, a := range fu.Args {
+		args[i] = a.String()
+	}
+	return fu.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (c *compilerCtx) chkConst(e lang.Expr) (float64, error) {
+	chk := &lang.Checked{Consts: c.chk.Consts}
+	return chk.EvalConstExpr(e)
+}
+
+func (c *compilerCtx) compileJoin(cq *lang.CheckedQuery, st *Stage) (*Stage, error) {
+	st.Kind = KindJoin
+	st.Left = c.plan.ByName[cq.Left.Name]
+	st.Right = c.plan.ByName[cq.Right.Name]
+	st.OnCols = cq.OnCols
+	env := &lowerEnv{
+		consts: c.chk.Consts,
+		chk:    c.chk,
+		left:   cq.Left,
+		right:  cq.Right,
+	}
+	for _, col := range cq.SelectedCols {
+		e, err := lowerExpr(col.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		st.JoinCols = append(st.JoinCols, e)
+	}
+	if cq.Where != nil {
+		pred, err := lowerPred(cq.Where, env)
+		if err != nil {
+			return nil, err
+		}
+		st.JoinWhere = pred
+	}
+	return st, nil
+}
+
+func (c *compilerCtx) envFor(input *lang.CheckedQuery) *lowerEnv {
+	return &lowerEnv{consts: c.chk.Consts, input: input, chk: c.chk}
+}
+
+// fuse assigns switch-resident group stages to physical stores. Stages
+// with identical keys share one store when the fused fold remains linear
+// in state (the paper's "JOINs … can be represented by a more complex
+// aggregation function"); otherwise each gets its own store. Fusing a
+// history-using fold under another member's guard would break its
+// previous-packet invariant, so such combinations are kept separate —
+// the trial build below detects that automatically via the linearity
+// analysis.
+func (p *Plan) fuse() error {
+	for _, st := range p.Stages {
+		if st.Kind != KindGroup || !st.OnSwitch {
+			continue
+		}
+		placed := false
+		for _, sp := range p.Programs {
+			if !sp.Key.Equal(st.Key) {
+				continue
+			}
+			candidate := &SwitchProgram{Key: sp.Key, Members: append(append([]*Stage(nil), sp.Members...), st)}
+			if err := candidate.build(); err != nil {
+				continue
+			}
+			if candidate.Fold.Merge != fold.MergeLinear {
+				continue // fusion would lose exact merging; keep separate
+			}
+			*sp = *candidate
+			for mi, m := range sp.Members {
+				m.Program, m.Member = sp, mi
+			}
+			placed = true
+			break
+		}
+		if placed {
+			continue
+		}
+		sp := &SwitchProgram{Key: st.Key, Members: []*Stage{st}}
+		if err := sp.build(); err != nil {
+			return err
+		}
+		st.Program, st.Member = sp, 0
+		p.Programs = append(p.Programs, sp)
+	}
+	return nil
+}
+
+// build assembles the fused fold for a physical store. A single-member
+// store keeps the member's WHERE outside the fold (the datapath admits
+// only matching records); multi-member stores guard each member's body
+// inside the fold, since a record may match one member but not another.
+func (sp *SwitchProgram) build() error {
+	var (
+		body   []fold.Stmt
+		names  []string
+		s0     []float64
+		offset int
+	)
+	single := len(sp.Members) == 1
+	sp.Offsets = nil
+	sp.PresIdx = nil
+	progNames := make([]string, 0, len(sp.Members))
+	for _, st := range sp.Members {
+		sp.Offsets = append(sp.Offsets, offset)
+		member := renumberStmts(st.Fold.Prog.Body, offset)
+		for i := 0; i < st.Fold.StateLen(); i++ {
+			if st.Fold.Prog.S0 != nil {
+				s0 = append(s0, st.Fold.Prog.S0[i])
+			} else {
+				s0 = append(s0, 0)
+			}
+			names = append(names, fmt.Sprintf("%s.%s", st.Name, st.Fold.Prog.StateNames[i]))
+		}
+		offset += st.Fold.StateLen()
+
+		// Presence counter for this member.
+		pres := offset
+		sp.PresIdx = append(sp.PresIdx, pres)
+		member = append(member, fold.Assign{Dst: pres, RHS: fold.Bin{Op: fold.OpAdd, L: fold.StateRef(pres), R: fold.Const(1)}})
+		names = append(names, fmt.Sprintf("%s.present", st.Name))
+		s0 = append(s0, 0)
+		offset++
+
+		if st.Where != nil && !single {
+			member = []fold.Stmt{fold.If{Cond: st.Where, Then: member}}
+		}
+		body = append(body, member...)
+		progNames = append(progNames, st.Name)
+	}
+	if offset > fold.MaxState {
+		return fmt.Errorf("compiler: fused store %s needs %d state words (max %d); split the queries across keys",
+			strings.Join(progNames, "+"), offset, fold.MaxState)
+	}
+	prog := &fold.Program{
+		Name:       "store[" + strings.Join(progNames, "+") + "]",
+		NumState:   offset,
+		S0:         s0,
+		Body:       body,
+		StateNames: names,
+	}
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	sp.Fold = &fold.Func{Prog: prog}
+	_ = linear.Annotate(sp.Fold)
+	return nil
+}
+
+// renumberStmts shifts every state index in a statement list by off.
+func renumberStmts(stmts []fold.Stmt, off int) []fold.Stmt {
+	out := make([]fold.Stmt, len(stmts))
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case fold.Assign:
+			out[i] = fold.Assign{Dst: s.Dst + off, RHS: renumberExpr(s.RHS, off)}
+		case fold.If:
+			out[i] = fold.If{
+				Cond: renumberPred(s.Cond, off),
+				Then: renumberStmts(s.Then, off),
+				Else: renumberStmts(s.Else, off),
+			}
+		}
+	}
+	return out
+}
+
+func renumberExpr(e fold.Expr, off int) fold.Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case fold.StateRef:
+		return fold.StateRef(int(e) + off)
+	case fold.Bin:
+		return fold.Bin{Op: e.Op, L: renumberExpr(e.L, off), R: renumberExpr(e.R, off)}
+	case fold.Neg:
+		return fold.Neg{X: renumberExpr(e.X, off)}
+	case fold.Call:
+		args := make([]fold.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = renumberExpr(a, off)
+		}
+		return fold.Call{Fn: e.Fn, Args: args}
+	case fold.CondExpr:
+		return fold.CondExpr{P: renumberPred(e.P, off), T: renumberExpr(e.T, off), E: renumberExpr(e.E, off)}
+	default:
+		return e
+	}
+}
+
+func renumberPred(p fold.Pred, off int) fold.Pred {
+	switch p := p.(type) {
+	case nil:
+		return nil
+	case fold.Cmp:
+		return fold.Cmp{Op: p.Op, L: renumberExpr(p.L, off), R: renumberExpr(p.R, off)}
+	case fold.And:
+		return fold.And{L: renumberPred(p.L, off), R: renumberPred(p.R, off)}
+	case fold.Or:
+		return fold.Or{L: renumberPred(p.L, off), R: renumberPred(p.R, off)}
+	case fold.Not:
+		return fold.Not{X: renumberPred(p.X, off)}
+	default:
+		return p
+	}
+}
+
+// NumKeyCols returns the number of key columns of a group or join stage.
+func (st *Stage) NumKeyCols() int {
+	switch st.Kind {
+	case KindGroup:
+		return st.Key.NumComponents()
+	case KindJoin:
+		return st.OnCols
+	default:
+		return 0
+	}
+}

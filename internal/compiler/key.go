@@ -1,0 +1,203 @@
+// Package compiler lowers checked query programs to executable plans: per
+// record filters and fold programs in the fold IR, grouping-key packing
+// specs, switch/collector stage placement, and the paper's JOIN-of-
+// GROUPBYs reduction to a single fused key-value store program (§2, §3).
+package compiler
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+// fieldWidth is the packed byte width of each raw schema field, matching
+// the natural header widths the paper's 104-bit five-tuple assumes.
+var fieldWidth = [trace.NumFields]int{
+	trace.FieldSrcIP: 4, trace.FieldDstIP: 4,
+	trace.FieldSrcPort: 2, trace.FieldDstPort: 2,
+	trace.FieldProto:  1,
+	trace.FieldPktLen: 4, trace.FieldPayloadLen: 4,
+	trace.FieldTCPSeq: 4, trace.FieldTCPFlags: 1,
+	trace.FieldPktUniq: 8,
+	trace.FieldQID:     4, trace.FieldSwitch: 2, trace.FieldQueue: 2,
+	trace.FieldTin: 8, trace.FieldTout: 8,
+	trace.FieldQin: 4, trace.FieldQout: 4,
+	trace.FieldPath: 4,
+}
+
+// KeySpec describes how a group stage's key is formed and packed into the
+// 128-bit key-value-store key.
+type KeySpec struct {
+	// Fields are the raw schema fields (stages over T).
+	Fields []trace.FieldID
+	// Cols are upstream column indices (stages over derived tables).
+	Cols []int
+	// Packed reports whether the field values fit in 16 bytes and are
+	// therefore stored reversibly; otherwise the key is a 128-bit digest
+	// and key values ride alongside (wider-key SRAM in real hardware).
+	Packed bool
+	// widths per component (packed mode; derived columns use 8 bytes).
+	widths []int
+}
+
+// NumComponents returns how many key values the spec extracts.
+func (k *KeySpec) NumComponents() int {
+	if len(k.Fields) > 0 {
+		return len(k.Fields)
+	}
+	return len(k.Cols)
+}
+
+// newKeySpecFields builds a KeySpec over raw schema fields.
+func newKeySpecFields(fields []trace.FieldID) *KeySpec {
+	ks := &KeySpec{Fields: fields}
+	total := 0
+	for _, f := range fields {
+		w := fieldWidth[f]
+		if w == 0 {
+			w = 8
+		}
+		ks.widths = append(ks.widths, w)
+		total += w
+	}
+	ks.Packed = total <= 16
+	return ks
+}
+
+// newKeySpecCols builds a KeySpec over derived-row columns (8 bytes each).
+func newKeySpecCols(cols []int) *KeySpec {
+	ks := &KeySpec{Cols: cols}
+	for range cols {
+		ks.widths = append(ks.widths, 8)
+	}
+	ks.Packed = len(cols)*8 <= 16
+	return ks
+}
+
+// Equal reports whether two specs form identical keys (the fusion
+// precondition).
+func (k *KeySpec) Equal(o *KeySpec) bool {
+	if len(k.Fields) != len(o.Fields) || len(k.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range k.Fields {
+		if k.Fields[i] != o.Fields[i] {
+			return false
+		}
+	}
+	for i := range k.Cols {
+		if k.Cols[i] != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Values extracts the key component values for a raw record (fields mode)
+// into dst.
+func (k *KeySpec) Values(rec *trace.Record, dst []float64) {
+	for i, f := range k.Fields {
+		dst[i] = float64(rec.Field(f))
+	}
+}
+
+// ValuesRow extracts key components from a derived row into dst.
+func (k *KeySpec) ValuesRow(row []float64, dst []float64) {
+	for i, c := range k.Cols {
+		dst[i] = row[c]
+	}
+}
+
+// Pack converts key component values into the cache key. Packed mode lays
+// components out at their natural widths; digest mode hashes the full
+// component vector into 16 bytes with two independent FNV-1a streams.
+func (k *KeySpec) Pack(vals []float64) packet.Key128 {
+	var key packet.Key128
+	if k.Packed {
+		off := 0
+		for i, v := range vals {
+			w := k.widths[i]
+			putUint(key[off:off+w], uint64(int64(v)), w)
+			off += w
+		}
+		return key
+	}
+	const (
+		off1, off2        = 14695981039346656037, 0xcbf29ce484222325 ^ 0x9e3779b97f4a7c15
+		prime      uint64 = 1099511628211
+	)
+	h1, h2 := uint64(off1), uint64(off2)
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(v)))
+		for _, x := range b {
+			h1 = (h1 ^ uint64(x)) * prime
+			h2 = (h2 ^ uint64(x)) * (prime + 2)
+		}
+	}
+	binary.LittleEndian.PutUint64(key[0:8], h1)
+	binary.LittleEndian.PutUint64(key[8:16], h2)
+	return key
+}
+
+// Unpack recovers key component values from a packed key. It must only be
+// called when Packed is true.
+func (k *KeySpec) Unpack(key packet.Key128, dst []float64) {
+	if !k.Packed {
+		panic("compiler: Unpack on digest-mode key")
+	}
+	off := 0
+	for i := range k.widths {
+		w := k.widths[i]
+		dst[i] = float64(int64(getUint(key[off:off+w], w)))
+		off += w
+	}
+}
+
+func putUint(b []byte, v uint64, w int) {
+	for i := w - 1; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+func getUint(b []byte, w int) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// String describes the key layout.
+func (k *KeySpec) String() string {
+	mode := "digest"
+	if k.Packed {
+		mode = "packed"
+	}
+	if len(k.Fields) > 0 {
+		names := make([]string, len(k.Fields))
+		for i, f := range k.Fields {
+			names[i] = f.String()
+		}
+		return fmt.Sprintf("key(%s; %s)", mode, join(names))
+	}
+	cols := make([]string, len(k.Cols))
+	for i, c := range k.Cols {
+		cols[i] = fmt.Sprintf("$%d", c)
+	}
+	return fmt.Sprintf("key(%s; %s)", mode, join(cols))
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}

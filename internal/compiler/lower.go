@@ -1,0 +1,266 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"perfq/internal/fold"
+	"perfq/internal/lang"
+	"perfq/internal/trace"
+)
+
+// lowerEnv is the name-resolution context for lowering expressions:
+// exactly one of (input mode, join mode, fold-body mode) is active,
+// selected by which fields are set.
+type lowerEnv struct {
+	consts map[string]float64
+	chk    *lang.Checked
+
+	// input is the upstream query for input mode; nil means the raw
+	// table T (identifiers lower to FieldRef).
+	input *lang.CheckedQuery
+
+	// fold-body mode: state params and row-param bindings.
+	state map[string]int
+	binds map[string]fold.Expr
+
+	// join mode: the two sides; right-side columns are offset by
+	// len(left.Schema) in the combined row.
+	left, right *lang.CheckedQuery
+}
+
+func (env *lowerEnv) joinMode() bool { return env.left != nil }
+
+// lowerExpr lowers a checked language expression to the fold IR.
+func lowerExpr(e lang.Expr, env *lowerEnv) (fold.Expr, error) {
+	switch e := e.(type) {
+	case *lang.NumberLit:
+		return fold.Const(e.Value), nil
+	case *lang.InfinityLit:
+		return fold.Const(fold.Infinity), nil
+	case *lang.BoolLit:
+		return nil, fmt.Errorf("%s: boolean literal in numeric context", e.Pos)
+	case *lang.Ident:
+		return lowerIdent(e, env)
+	case *lang.Dotted:
+		return lowerDotted(e, env)
+	case *lang.UnaryExpr:
+		if e.Op == lang.KwNot {
+			return nil, fmt.Errorf("%s: NOT in numeric context", e.Pos)
+		}
+		x, err := lowerExpr(e.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return fold.Neg{X: x}, nil
+	case *lang.BinExpr:
+		l, err := lowerExpr(e.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerExpr(e.R, env)
+		if err != nil {
+			return nil, err
+		}
+		var op fold.Op
+		switch e.Op {
+		case lang.PLUS:
+			op = fold.OpAdd
+		case lang.MINUS:
+			op = fold.OpSub
+		case lang.STAR:
+			op = fold.OpMul
+		case lang.SLASH:
+			op = fold.OpDiv
+		default:
+			return nil, fmt.Errorf("%s: operator %v in numeric context", e.Pos, e.Op)
+		}
+		return fold.Bin{Op: op, L: l, R: r}, nil
+	case *lang.CallExpr:
+		// Builtin scalar functions.
+		switch strings.ToLower(e.Name) {
+		case "min", "max", "abs":
+			args := make([]fold.Expr, len(e.Args))
+			for i, a := range e.Args {
+				x, err := lowerExpr(a, env)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = x
+			}
+			fn := fold.FnAbs
+			switch strings.ToLower(e.Name) {
+			case "min":
+				fn = fold.FnMin
+			case "max":
+				fn = fold.FnMax
+			}
+			return fold.Call{Fn: fn, Args: args}, nil
+		}
+		// Canonical aggregate column reference over a derived input.
+		if env.input != nil {
+			if idx := lang.ColumnIndex(env.input.Schema, lang.CanonicalCall(e)); idx >= 0 {
+				return fold.ColRef(idx), nil
+			}
+		}
+		return nil, fmt.Errorf("%s: cannot lower call %s", e.Pos, e)
+	default:
+		return nil, fmt.Errorf("cannot lower %T", e)
+	}
+}
+
+// lowerIdent resolves a bare identifier according to the env mode.
+func lowerIdent(e *lang.Ident, env *lowerEnv) (fold.Expr, error) {
+	if env.state != nil {
+		if idx, ok := env.state[e.Name]; ok {
+			return fold.StateRef(idx), nil
+		}
+		if ref, ok := env.binds[e.Name]; ok {
+			return ref, nil
+		}
+	}
+	if v, ok := env.consts[e.Name]; ok {
+		return fold.Const(v), nil
+	}
+	if env.joinMode() {
+		if idx := lang.ColumnIndex(env.left.Schema, e.Name); idx >= 0 {
+			return fold.ColRef(idx), nil
+		}
+		if idx := lang.ColumnIndex(env.right.Schema, e.Name); idx >= 0 {
+			return fold.ColRef(len(env.left.Schema) + idx), nil
+		}
+		return nil, fmt.Errorf("%s: %q not found in join inputs", e.Pos, e.Name)
+	}
+	if env.input != nil {
+		if idx := lang.ColumnIndex(env.input.Schema, e.Name); idx >= 0 {
+			return fold.ColRef(idx), nil
+		}
+		return nil, fmt.Errorf("%s: %q not found in %s", e.Pos, e.Name, env.input.Name)
+	}
+	if f, ok := trace.FieldByName(e.Name); ok {
+		return fold.FieldRef(f), nil
+	}
+	return nil, fmt.Errorf("%s: unknown identifier %q", e.Pos, e.Name)
+}
+
+// lowerDotted resolves base.col references.
+func lowerDotted(e *lang.Dotted, env *lowerEnv) (fold.Expr, error) {
+	if env.joinMode() {
+		switch {
+		case strings.EqualFold(e.Base, env.left.Name):
+			if idx := lang.ColumnIndex(env.left.Schema, e.Col); idx >= 0 {
+				return fold.ColRef(idx), nil
+			}
+		case strings.EqualFold(e.Base, env.right.Name):
+			if idx := lang.ColumnIndex(env.right.Schema, e.Col); idx >= 0 {
+				return fold.ColRef(len(env.left.Schema) + idx), nil
+			}
+		}
+		return nil, fmt.Errorf("%s: %s not found in join inputs", e.Pos, e)
+	}
+	if env.input != nil {
+		if idx := lang.ColumnIndex(env.input.Schema, e.String()); idx >= 0 {
+			return fold.ColRef(idx), nil
+		}
+		return nil, fmt.Errorf("%s: %s not found in %s", e.Pos, e, env.input.Name)
+	}
+	return nil, fmt.Errorf("%s: dotted reference %s over the raw table", e.Pos, e)
+}
+
+// lowerPred lowers a boolean expression to a fold predicate.
+func lowerPred(e lang.Expr, env *lowerEnv) (fold.Pred, error) {
+	switch e := e.(type) {
+	case *lang.BoolLit:
+		return fold.BoolConst(e.Value), nil
+	case *lang.UnaryExpr:
+		if e.Op != lang.KwNot {
+			return nil, fmt.Errorf("%s: numeric expression in boolean context", e.Pos)
+		}
+		x, err := lowerPred(e.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return fold.Not{X: x}, nil
+	case *lang.BinExpr:
+		switch e.Op {
+		case lang.KwAnd, lang.KwOr:
+			l, err := lowerPred(e.L, env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lowerPred(e.R, env)
+			if err != nil {
+				return nil, err
+			}
+			if e.Op == lang.KwAnd {
+				return fold.And{L: l, R: r}, nil
+			}
+			return fold.Or{L: l, R: r}, nil
+		case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+			l, err := lowerExpr(e.L, env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lowerExpr(e.R, env)
+			if err != nil {
+				return nil, err
+			}
+			var op fold.CmpOp
+			switch e.Op {
+			case lang.EQ:
+				op = fold.CmpEq
+			case lang.NE:
+				op = fold.CmpNe
+			case lang.LT:
+				op = fold.CmpLt
+			case lang.LE:
+				op = fold.CmpLe
+			case lang.GT:
+				op = fold.CmpGt
+			case lang.GE:
+				op = fold.CmpGe
+			}
+			return fold.Cmp{Op: op, L: l, R: r}, nil
+		default:
+			return nil, fmt.Errorf("%s: arithmetic in boolean context", e.Pos)
+		}
+	default:
+		return nil, fmt.Errorf("%v: expression is not a predicate", e)
+	}
+}
+
+// lowerStmts lowers a fold body.
+func lowerStmts(stmts []lang.Stmt, env *lowerEnv) ([]fold.Stmt, error) {
+	out := make([]fold.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *lang.AssignStmt:
+			idx, ok := env.state[s.Name]
+			if !ok {
+				return nil, fmt.Errorf("%s: assignment to non-state %q", s.Pos, s.Name)
+			}
+			rhs, err := lowerExpr(s.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fold.Assign{Dst: idx, RHS: rhs})
+		case *lang.IfStmt:
+			cond, err := lowerPred(s.Cond, env)
+			if err != nil {
+				return nil, err
+			}
+			then, err := lowerStmts(s.Then, env)
+			if err != nil {
+				return nil, err
+			}
+			els, err := lowerStmts(s.Else, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fold.If{Cond: cond, Then: then, Else: els})
+		default:
+			return nil, fmt.Errorf("unsupported statement %T", s)
+		}
+	}
+	return out, nil
+}

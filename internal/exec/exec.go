@@ -1,0 +1,302 @@
+// Package exec evaluates compiled query plans in software. It serves two
+// roles:
+//
+//   - Ground truth: Run streams a record source through every stage with
+//     unbounded memory, yielding the results an infinite switch would
+//     produce. Integration tests compare the cache+merge datapath against
+//     it.
+//   - Collector: the downstream (off-switch) stages of a plan — selects
+//     over derived tables, second-level GROUPBYs, joins — are evaluated
+//     here in production too, over tables materialized from the backing
+//     store (Engine.SetTable).
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"perfq/internal/compiler"
+	"perfq/internal/fold"
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+// Table is a materialized query result.
+type Table struct {
+	Schema []string
+	Rows   [][]float64
+}
+
+// Sort orders rows lexicographically for deterministic output.
+func (t *Table) Sort() {
+	sort.Slice(t.Rows, func(i, j int) bool {
+		a, b := t.Rows[i], t.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// groupEntry is one group's accumulator during ground-truth evaluation.
+type groupEntry struct {
+	keyVals []float64
+	state   []float64
+}
+
+// Engine evaluates a plan.
+type Engine struct {
+	plan   *compiler.Plan
+	tables map[string]*Table
+	// Per over-T stage streaming state.
+	groups map[string]map[packet.Key128]*groupEntry
+	srows  map[string][][]float64
+	preset map[string]bool
+}
+
+// New creates an engine for the plan.
+func New(plan *compiler.Plan) *Engine {
+	return &Engine{
+		plan:   plan,
+		tables: map[string]*Table{},
+		groups: map[string]map[packet.Key128]*groupEntry{},
+		srows:  map[string][][]float64{},
+		preset: map[string]bool{},
+	}
+}
+
+// SetTable injects a pre-computed result for a stage (collector mode: the
+// table came from the switch datapath's backing store). The stage is then
+// skipped during evaluation.
+func (e *Engine) SetTable(name string, t *Table) {
+	e.tables[name] = t
+	e.preset[name] = true
+}
+
+// ProcessRecord streams one record through every stage that reads T and is
+// not preset.
+func (e *Engine) ProcessRecord(rec *trace.Record) {
+	in := fold.Input{Rec: rec}
+	for _, st := range e.plan.Stages {
+		if e.preset[st.Name] || st.Input != nil || st.Kind == compiler.KindJoin {
+			continue
+		}
+		switch st.Kind {
+		case compiler.KindSelect:
+			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+				continue
+			}
+			row := make([]float64, len(st.Cols))
+			for i, c := range st.Cols {
+				row[i] = fold.EvalExpr(c, &in, nil)
+			}
+			e.srows[st.Name] = append(e.srows[st.Name], row)
+		case compiler.KindGroup:
+			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+				continue
+			}
+			g := e.groups[st.Name]
+			if g == nil {
+				g = map[packet.Key128]*groupEntry{}
+				e.groups[st.Name] = g
+			}
+			nk := st.Key.NumComponents()
+			var kv [8]float64
+			st.Key.Values(rec, kv[:nk])
+			key := st.Key.Pack(kv[:nk])
+			ent := g[key]
+			if ent == nil {
+				ent = &groupEntry{
+					keyVals: append([]float64(nil), kv[:nk]...),
+					state:   make([]float64, st.Fold.StateLen()),
+				}
+				st.Fold.Init(ent.state)
+				g[key] = ent
+			}
+			st.Fold.Update(ent.state, &in)
+		}
+	}
+}
+
+// Finish materializes every remaining stage in order and returns all
+// tables by stage name.
+func (e *Engine) Finish() (map[string]*Table, error) {
+	for _, st := range e.plan.Stages {
+		if e.preset[st.Name] {
+			continue
+		}
+		switch {
+		case st.Kind == compiler.KindJoin:
+			t, err := e.runJoin(st)
+			if err != nil {
+				return nil, err
+			}
+			e.tables[st.Name] = t
+		case st.Input == nil:
+			e.tables[st.Name] = e.materializeT(st)
+		default:
+			t, err := e.runDerived(st)
+			if err != nil {
+				return nil, err
+			}
+			e.tables[st.Name] = t
+		}
+	}
+	return e.tables, nil
+}
+
+// materializeT converts streaming state of an over-T stage into a table.
+func (e *Engine) materializeT(st *compiler.Stage) *Table {
+	t := &Table{Schema: st.Schema}
+	switch st.Kind {
+	case compiler.KindSelect:
+		t.Rows = e.srows[st.Name]
+	case compiler.KindGroup:
+		t.Rows = materializeGroup(st, e.groups[st.Name])
+	}
+	t.Sort()
+	return t
+}
+
+// materializeGroup renders group accumulators as rows (key values then
+// projected value columns).
+func materializeGroup(st *compiler.Stage, groups map[packet.Key128]*groupEntry) [][]float64 {
+	rows := make([][]float64, 0, len(groups))
+	for _, ent := range groups {
+		rows = append(rows, GroupRow(st, ent.keyVals, ent.state))
+	}
+	return rows
+}
+
+// GroupRow builds one output row of a group stage from its key values and
+// final state vector.
+func GroupRow(st *compiler.Stage, keyVals, state []float64) []float64 {
+	row := make([]float64, 0, len(keyVals)+len(st.Out))
+	row = append(row, keyVals...)
+	for _, oc := range st.Out {
+		row = append(row, fold.EvalExpr(oc.Expr, &fold.Input{}, state))
+	}
+	return row
+}
+
+// runDerived evaluates a select or group stage over an upstream table.
+func (e *Engine) runDerived(st *compiler.Stage) (*Table, error) {
+	input, ok := e.tables[st.Input.Name]
+	if !ok {
+		return nil, fmt.Errorf("exec: stage %s input %s not materialized", st.Name, st.Input.Name)
+	}
+	t := &Table{Schema: st.Schema}
+	switch st.Kind {
+	case compiler.KindSelect:
+		for _, row := range input.Rows {
+			in := fold.Input{Cols: row}
+			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+				continue
+			}
+			out := make([]float64, len(st.Cols))
+			for i, c := range st.Cols {
+				out[i] = fold.EvalExpr(c, &in, nil)
+			}
+			t.Rows = append(t.Rows, out)
+		}
+	case compiler.KindGroup:
+		groups := map[packet.Key128]*groupEntry{}
+		nk := st.Key.NumComponents()
+		for _, row := range input.Rows {
+			in := fold.Input{Cols: row}
+			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+				continue
+			}
+			var kv [8]float64
+			st.Key.ValuesRow(row, kv[:nk])
+			key := st.Key.Pack(kv[:nk])
+			ent := groups[key]
+			if ent == nil {
+				ent = &groupEntry{
+					keyVals: append([]float64(nil), kv[:nk]...),
+					state:   make([]float64, st.Fold.StateLen()),
+				}
+				st.Fold.Init(ent.state)
+				groups[key] = ent
+			}
+			st.Fold.Update(ent.state, &in)
+		}
+		t.Rows = materializeGroup(st, groups)
+	default:
+		return nil, fmt.Errorf("exec: runDerived on %v stage", st.Kind)
+	}
+	t.Sort()
+	return t, nil
+}
+
+// runJoin evaluates the restricted equi-join: both inputs are keyed by
+// their first OnCols columns, which uniquely identify rows.
+func (e *Engine) runJoin(st *compiler.Stage) (*Table, error) {
+	left, ok := e.tables[st.Left.Name]
+	if !ok {
+		return nil, fmt.Errorf("exec: join %s left input %s not materialized", st.Name, st.Left.Name)
+	}
+	right, ok := e.tables[st.Right.Name]
+	if !ok {
+		return nil, fmt.Errorf("exec: join %s right input %s not materialized", st.Name, st.Right.Name)
+	}
+	k := st.OnCols
+	index := make(map[string][]float64, len(right.Rows))
+	for _, row := range right.Rows {
+		index[rowKey(row[:k])] = row
+	}
+	t := &Table{Schema: st.Schema}
+	for _, lrow := range left.Rows {
+		rrow, ok := index[rowKey(lrow[:k])]
+		if !ok {
+			continue
+		}
+		combined := make([]float64, 0, len(lrow)+len(rrow))
+		combined = append(combined, lrow...)
+		combined = append(combined, rrow...)
+		in := fold.Input{Cols: combined}
+		if st.JoinWhere != nil && !fold.EvalPred(st.JoinWhere, &in, nil) {
+			continue
+		}
+		out := make([]float64, 0, k+len(st.JoinCols))
+		out = append(out, lrow[:k]...)
+		for _, c := range st.JoinCols {
+			out = append(out, fold.EvalExpr(c, &in, nil))
+		}
+		t.Rows = append(t.Rows, out)
+	}
+	t.Sort()
+	return t, nil
+}
+
+// rowKey encodes a key prefix for hash-join lookup.
+func rowKey(vals []float64) string {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		u := uint64(int64(v))
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(u >> (8 * j))
+		}
+	}
+	return string(b)
+}
+
+// Run evaluates the full plan over a source with unbounded memory.
+func Run(plan *compiler.Plan, src trace.Source) (map[string]*Table, error) {
+	e := New(plan)
+	var rec trace.Record
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.ProcessRecord(&rec)
+	}
+	return e.Finish()
+}

@@ -1,0 +1,388 @@
+package fold
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+func rec(tin, tout int64, pktLen, payload uint32, seq uint32) *trace.Record {
+	return &trace.Record{
+		SrcIP: packet.Addr4{10, 0, 0, 1}, DstIP: packet.Addr4{10, 0, 0, 2},
+		SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP,
+		PktLen: pktLen, PayloadLen: payload, TCPSeq: seq,
+		Tin: tin, Tout: tout,
+	}
+}
+
+func in(r *trace.Record) *Input { return &Input{Rec: r} }
+
+func TestEvalExprBasics(t *testing.T) {
+	r := rec(100, 350, 1500, 1448, 7)
+	state := []float64{5, -2}
+	cases := []struct {
+		e    Expr
+		want float64
+	}{
+		{Const(3.5), 3.5},
+		{FieldRef(trace.FieldTin), 100},
+		{FieldRef(trace.FieldTout), 350},
+		{FieldRef(trace.FieldPktLen), 1500},
+		{StateRef(0), 5},
+		{StateRef(1), -2},
+		{Bin{OpAdd, Const(2), Const(3)}, 5},
+		{Bin{OpSub, FieldRef(trace.FieldTout), FieldRef(trace.FieldTin)}, 250},
+		{Bin{OpMul, StateRef(0), Const(4)}, 20},
+		{Bin{OpDiv, Const(9), Const(2)}, 4.5},
+		{Bin{OpDiv, Const(9), Const(0)}, 0}, // saturating divide
+		{Neg{Const(8)}, -8},
+		{Call{FnMin, []Expr{Const(2), Const(9)}}, 2},
+		{Call{FnMax, []Expr{StateRef(0), FieldRef(trace.FieldTCPSeq)}}, 7},
+		{Call{FnAbs, []Expr{StateRef(1)}}, 2},
+		{CondExpr{Cmp{CmpGt, Const(2), Const(1)}, Const(10), Const(20)}, 10},
+		{CondExpr{Cmp{CmpLt, Const(2), Const(1)}, Const(10), Const(20)}, 20},
+	}
+	for _, c := range cases {
+		if got := EvalExpr(c.e, in(r), state); got != c.want {
+			t.Errorf("EvalExpr(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestEvalPredBasics(t *testing.T) {
+	r := rec(0, trace.Infinity, 64, 0, 0)
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{Cmp{CmpEq, FieldRef(trace.FieldTout), Const(Infinity)}, true}, // drop detection
+		{Cmp{CmpNe, Const(1), Const(1)}, false},
+		{Cmp{CmpLe, Const(1), Const(1)}, true},
+		{Cmp{CmpGe, Const(0), Const(1)}, false},
+		{And{BoolConst(true), Cmp{CmpLt, Const(1), Const(2)}}, true},
+		{And{BoolConst(false), BoolConst(true)}, false},
+		{Or{BoolConst(false), BoolConst(true)}, true},
+		{Not{BoolConst(true)}, false},
+	}
+	for _, c := range cases {
+		if got := EvalPred(c.p, in(r), nil); got != c.want {
+			t.Errorf("EvalPred(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestColRef(t *testing.T) {
+	input := &Input{Cols: []float64{1.5, 2.5}}
+	if got := EvalExpr(Bin{OpAdd, ColRef(0), ColRef(1)}, input, nil); got != 4 {
+		t.Errorf("ColRef sum = %v", got)
+	}
+}
+
+// outOfSeqProgram is the paper's outofseq fold:
+//
+//	def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):
+//	    if lastseq + 1 != tcpseq: oos_count = oos_count + 1
+//	    lastseq = tcpseq + payload_len
+func outOfSeqProgram() *Program {
+	return &Program{
+		Name:     "outofseq",
+		NumState: 2, // s0 = lastseq, s1 = oos_count
+		Body: []Stmt{
+			If{
+				Cond: Cmp{CmpNe, Bin{OpAdd, StateRef(0), Const(1)}, FieldRef(trace.FieldTCPSeq)},
+				Then: []Stmt{Assign{1, Bin{OpAdd, StateRef(1), Const(1)}}},
+			},
+			Assign{0, Bin{OpAdd, FieldRef(trace.FieldTCPSeq), FieldRef(trace.FieldPayloadLen)}},
+		},
+		StateNames: []string{"lastseq", "oos_count"},
+	}
+}
+
+func TestSequentialStatementSemantics(t *testing.T) {
+	p := outOfSeqProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	state := p.InitState()
+	// First packet: lastseq(0)+1 != 100 → count; lastseq = 100+50 = 150.
+	p.Update(state, in(rec(0, 1, 100, 50, 100)))
+	if state[1] != 1 || state[0] != 150 {
+		t.Fatalf("after pkt1: %v", state)
+	}
+	// Consecutive packet seq=151: no count.
+	p.Update(state, in(rec(0, 1, 100, 50, 151)))
+	if state[1] != 1 {
+		t.Fatalf("consecutive packet counted: %v", state)
+	}
+	// Gap: counted.
+	p.Update(state, in(rec(0, 1, 100, 50, 999)))
+	if state[1] != 2 {
+		t.Fatalf("gap not counted: %v", state)
+	}
+}
+
+func TestBuiltinsMatchInterpreter(t *testing.T) {
+	lat := Bin{OpSub, FieldRef(trace.FieldTout), FieldRef(trace.FieldTin)}
+	funcs := []*Func{
+		Count(), Sum(lat), Max(lat), Min(lat), Avg(lat), Ewma(lat, 0.25),
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range funcs {
+		if err := f.Prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		native := make([]float64, f.StateLen())
+		interp := make([]float64, f.StateLen())
+		f.Init(native)
+		f.Init(interp)
+		g := f.Interpreted()
+		for i := 0; i < 200; i++ {
+			tin := rng.Int63n(1e6)
+			r := rec(tin, tin+rng.Int63n(1e5)+1, 64, 0, 0)
+			f.Update(native, in(r))
+			g.Update(interp, in(r))
+		}
+		for i := range native {
+			if math.Abs(native[i]-interp[i]) > 1e-9*math.Max(1, math.Abs(interp[i])) {
+				t.Errorf("%s: native %v vs interpreted %v", f.Name(), native, interp)
+			}
+		}
+	}
+}
+
+func TestLinearSpecsValid(t *testing.T) {
+	lat := Bin{OpSub, FieldRef(trace.FieldTout), FieldRef(trace.FieldTin)}
+	for _, f := range []*Func{Count(), Sum(lat), Avg(lat), Ewma(lat, 0.1)} {
+		if f.Merge != MergeLinear || f.Linear == nil {
+			t.Fatalf("%s: expected linear merge metadata", f.Name())
+		}
+		if err := f.Linear.Validate(); err != nil {
+			t.Errorf("%s: %v", f.Name(), err)
+		}
+	}
+	for _, f := range []*Func{Max(lat), Min(lat)} {
+		if f.Merge != MergeAssoc || f.Combine == nil {
+			t.Errorf("%s: expected assoc merge metadata", f.Name())
+		}
+	}
+}
+
+func TestLinearSpecRejectsStatefulCoefficients(t *testing.T) {
+	bad := &LinearSpec{
+		A: [][]Expr{{StateRef(0)}},
+		B: []Expr{Const(0)},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("stateful A coefficient accepted")
+	}
+	bad2 := &LinearSpec{
+		A: [][]Expr{{Const(1)}},
+		B: []Expr{CondExpr{Cmp{CmpGt, StateRef(0), Const(0)}, Const(1), Const(0)}},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Error("stateful B predicate accepted")
+	}
+}
+
+// TestUpdateLinearMatchesDirect verifies that applying the coefficient form
+// (A, B) reproduces the direct update for every linear builtin.
+func TestUpdateLinearMatchesDirect(t *testing.T) {
+	lat := Bin{OpSub, FieldRef(trace.FieldTout), FieldRef(trace.FieldTin)}
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range []*Func{Count(), Sum(lat), Avg(lat), Ewma(lat, 0.3)} {
+		m := f.StateLen()
+		direct := make([]float64, m)
+		viaAB := make([]float64, m)
+		p := make([]float64, m*m)
+		aS := make([]float64, m*m)
+		mS := make([]float64, m*m)
+		f.Init(direct)
+		f.Init(viaAB)
+		IdentityP(p, m)
+		for i := 0; i < 100; i++ {
+			tin := rng.Int63n(1e6)
+			r := rec(tin, tin+rng.Int63n(1e4)+1, 800, 700, 0)
+			f.Update(direct, in(r))
+			f.Linear.UpdateLinear(viaAB, p, in(r), aS, mS)
+		}
+		for i := range direct {
+			if math.Abs(direct[i]-viaAB[i]) > 1e-6*math.Max(1, math.Abs(direct[i])) {
+				t.Errorf("%s: direct %v vs A·S+B %v", f.Name(), direct, viaAB)
+			}
+		}
+	}
+}
+
+// TestMergeEqualsGroundTruth is the paper's central correctness claim
+// (§3.2): evict at a random point, restart from S0, then merge — the
+// result must equal folding the whole sequence without eviction. Checked
+// for every linear builtin over many random eviction points, including
+// repeated evictions.
+func TestMergeEqualsGroundTruth(t *testing.T) {
+	lat := Bin{OpSub, FieldRef(trace.FieldTout), FieldRef(trace.FieldTin)}
+	rng := rand.New(rand.NewSource(11))
+	funcs := []*Func{Count(), Sum(lat), Avg(lat), Ewma(lat, 0.125)}
+
+	for _, f := range funcs {
+		m := f.StateLen()
+		for trial := 0; trial < 50; trial++ {
+			n := 2 + rng.Intn(200)
+			recs := make([]*trace.Record, n)
+			for i := range recs {
+				tin := rng.Int63n(1e6)
+				recs[i] = rec(tin, tin+rng.Int63n(1e4)+1, 1500, 1400, 0)
+			}
+
+			// Ground truth: fold everything.
+			want := make([]float64, m)
+			f.Init(want)
+			for _, r := range recs {
+				f.Update(want, in(r))
+			}
+
+			// Datapath: random eviction schedule (each packet has a 10%
+			// chance of triggering an eviction after processing).
+			s0 := make([]float64, m)
+			f.Init(s0)
+			backing := make([]float64, m)
+			copy(backing, s0)
+			cacheState := make([]float64, m)
+			p := make([]float64, m*m)
+			aS := make([]float64, m*m)
+			mS := make([]float64, m*m)
+			f.Init(cacheState)
+			IdentityP(p, m)
+
+			for _, r := range recs {
+				f.Linear.UpdateLinear(cacheState, p, in(r), aS, mS)
+				if rng.Float64() < 0.1 {
+					MergeLinearState(backing, cacheState, p, backing, s0, m)
+					f.Init(cacheState)
+					IdentityP(p, m)
+				}
+			}
+			// Final flush.
+			MergeLinearState(backing, cacheState, p, backing, s0, m)
+
+			for i := range want {
+				tol := 1e-9 * math.Max(1, math.Abs(want[i]))
+				if math.Abs(backing[i]-want[i]) > tol {
+					t.Fatalf("%s trial %d: merged %v vs ground truth %v",
+						f.Name(), trial, backing, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAssocMergeEqualsGroundTruth checks the commutative-monoid extension
+// for MAX/MIN the same way.
+func TestAssocMergeEqualsGroundTruth(t *testing.T) {
+	lat := Bin{OpSub, FieldRef(trace.FieldTout), FieldRef(trace.FieldTin)}
+	rng := rand.New(rand.NewSource(13))
+	for _, f := range []*Func{Max(lat), Min(lat)} {
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.Intn(100)
+			recs := make([]*trace.Record, n)
+			for i := range recs {
+				tin := rng.Int63n(1e6)
+				recs[i] = rec(tin, tin+rng.Int63n(1e4)+1, 64, 0, 0)
+			}
+			want := make([]float64, 1)
+			f.Init(want)
+			for _, r := range recs {
+				f.Update(want, in(r))
+			}
+
+			backing := make([]float64, 1)
+			f.Init(backing)
+			cache := make([]float64, 1)
+			f.Init(cache)
+			for _, r := range recs {
+				f.Update(cache, in(r))
+				if rng.Float64() < 0.15 {
+					f.Combine(backing, cache)
+					f.Init(cache)
+				}
+			}
+			f.Combine(backing, cache)
+			if backing[0] != want[0] {
+				t.Fatalf("%s trial %d: merged %v vs %v", f.Name(), trial, backing[0], want[0])
+			}
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []*Program{
+		{Name: "too-many-state", NumState: MaxState + 1},
+		{Name: "zero-state", NumState: 0},
+		{Name: "bad-dst", NumState: 1, Body: []Stmt{Assign{Dst: 3, RHS: Const(0)}}},
+		{Name: "bad-ref", NumState: 1, Body: []Stmt{Assign{Dst: 0, RHS: StateRef(9)}}},
+		{Name: "nil-expr", NumState: 1, Body: []Stmt{Assign{Dst: 0, RHS: nil}}},
+		{Name: "bad-arity", NumState: 1, Body: []Stmt{Assign{Dst: 0, RHS: Call{FnMin, []Expr{Const(1)}}}}},
+		{Name: "bad-s0", NumState: 2, S0: []float64{1}},
+		{Name: "nil-pred", NumState: 1, Body: []Stmt{If{Cond: nil}}},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid program", p.Name)
+		}
+	}
+}
+
+func TestProgramStringer(t *testing.T) {
+	s := outOfSeqProgram().String()
+	for _, frag := range []string{"outofseq", "tcpseq", "if", "s1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Program.String() = %q missing %q", s, frag)
+		}
+	}
+	if got := Const(Infinity).String(); got != "infinity" {
+		t.Errorf("Const(Infinity).String() = %q", got)
+	}
+	if got := Const(42).String(); got != "42" {
+		t.Errorf("Const(42).String() = %q", got)
+	}
+}
+
+func TestInfinityMatchesTraceSentinel(t *testing.T) {
+	r := rec(0, trace.Infinity, 64, 0, 0)
+	got := EvalExpr(FieldRef(trace.FieldTout), in(r), nil)
+	if got != Infinity {
+		t.Errorf("float64(trace.Infinity) = %v, fold.Infinity = %v", got, Infinity)
+	}
+	// And a real timestamp must not collide with the sentinel.
+	r2 := rec(0, 1<<52, 64, 0, 0)
+	if EvalExpr(FieldRef(trace.FieldTout), in(r2), nil) == Infinity {
+		t.Error("large finite timestamp collides with Infinity")
+	}
+}
+
+func BenchmarkInterpretedEwma(b *testing.B) {
+	f := Ewma(Bin{OpSub, FieldRef(trace.FieldTout), FieldRef(trace.FieldTin)}, 0.25).Interpreted()
+	state := make([]float64, 1)
+	f.Init(state)
+	r := rec(100, 400, 1500, 1448, 0)
+	input := in(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Update(state, input)
+	}
+}
+
+func BenchmarkNativeEwma(b *testing.B) {
+	f := Ewma(Bin{OpSub, FieldRef(trace.FieldTout), FieldRef(trace.FieldTin)}, 0.25)
+	state := make([]float64, 1)
+	f.Init(state)
+	r := rec(100, 400, 1500, 1448, 0)
+	input := in(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Update(state, input)
+	}
+}

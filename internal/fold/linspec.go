@@ -1,0 +1,281 @@
+package fold
+
+import "fmt"
+
+// LinearSpec captures a linear-in-state update S' = A·S + B (§3.2, "the
+// linear-in-state condition"). Entries are IR expressions; nil entries
+// denote the constant 0.
+//
+// Per the paper's footnote 4, A and B may depend not only on the current
+// packet but on "a constant number of packets preceding and including the
+// current packet". That generality is what makes the Fig. 2 "TCP
+// out-of-sequence" fold linear: its branch condition reads lastseq, a
+// state variable that is itself a pure function of the previous packet (a
+// history variable). Coefficient expressions may therefore contain
+// StateRef nodes, but only for variables marked in HistVars; at runtime
+// they are evaluated against the pre-update state, which holds exactly the
+// previous packet's values for such variables.
+//
+// The paper's EWMA example is the 1×1 history-free case: A = [1-α],
+// B = [α·(tout-tin)].
+type LinearSpec struct {
+	A [][]Expr
+	B []Expr
+	// HistVars marks state variables whose end-of-body value is a pure
+	// function of the current packet (history depth 1). Only these may be
+	// referenced by A/B entries. nil means none.
+	HistVars []bool
+	// NeedsFirstPacket reports whether any coefficient references a
+	// history variable, in which case the datapath must snapshot each
+	// cache entry's first packet to merge exactly (see MergeWithFirstRec).
+	NeedsFirstPacket bool
+}
+
+// Dim returns the state dimension m.
+func (ls *LinearSpec) Dim() int { return len(ls.B) }
+
+// Validate checks shape and that coefficients reference only history
+// variables.
+func (ls *LinearSpec) Validate() error {
+	m := ls.Dim()
+	if len(ls.A) != m {
+		return fmt.Errorf("linearspec: A has %d rows, B has %d entries", len(ls.A), m)
+	}
+	if ls.HistVars != nil && len(ls.HistVars) != m {
+		return fmt.Errorf("linearspec: HistVars has %d entries, want %d", len(ls.HistVars), m)
+	}
+	allowed := func(e Expr) error {
+		bad := findBadStateRef(e, ls.HistVars)
+		if bad >= 0 {
+			return fmt.Errorf("linearspec: coefficient references non-history state s%d", bad)
+		}
+		return nil
+	}
+	for i, row := range ls.A {
+		if len(row) != m {
+			return fmt.Errorf("linearspec: A row %d has %d cols, want %d", i, len(row), m)
+		}
+		for _, e := range row {
+			if err := allowed(e); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range ls.B {
+		if err := allowed(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findBadStateRef returns the index of a StateRef in e not marked as a
+// history variable, or -1.
+func findBadStateRef(e Expr, hist []bool) int {
+	ok := func(i int) bool { return hist != nil && i < len(hist) && hist[i] }
+	switch e := e.(type) {
+	case nil, Const, FieldRef, ColRef:
+		return -1
+	case StateRef:
+		if ok(int(e)) {
+			return -1
+		}
+		return int(e)
+	case Bin:
+		if i := findBadStateRef(e.L, hist); i >= 0 {
+			return i
+		}
+		return findBadStateRef(e.R, hist)
+	case Neg:
+		return findBadStateRef(e.X, hist)
+	case Call:
+		for _, a := range e.Args {
+			if i := findBadStateRef(a, hist); i >= 0 {
+				return i
+			}
+		}
+		return -1
+	case CondExpr:
+		if i := findBadStateRefPred(e.P, hist); i >= 0 {
+			return i
+		}
+		if i := findBadStateRef(e.T, hist); i >= 0 {
+			return i
+		}
+		return findBadStateRef(e.E, hist)
+	default:
+		return MaxState // unknown nodes are conservatively rejected
+	}
+}
+
+func findBadStateRefPred(p Pred, hist []bool) int {
+	switch p := p.(type) {
+	case nil, BoolConst:
+		return -1
+	case Cmp:
+		if i := findBadStateRef(p.L, hist); i >= 0 {
+			return i
+		}
+		return findBadStateRef(p.R, hist)
+	case And:
+		if i := findBadStateRefPred(p.L, hist); i >= 0 {
+			return i
+		}
+		return findBadStateRefPred(p.R, hist)
+	case Or:
+		if i := findBadStateRefPred(p.L, hist); i >= 0 {
+			return i
+		}
+		return findBadStateRefPred(p.R, hist)
+	case Not:
+		return findBadStateRefPred(p.X, hist)
+	default:
+		return MaxState
+	}
+}
+
+// evalCoef evaluates a coefficient expression (nil ⇒ 0) against the
+// pre-update state (for history-variable references).
+func evalCoef(e Expr, in *Input, state []float64) float64 {
+	if e == nil {
+		return 0
+	}
+	return EvalExpr(e, in, state)
+}
+
+// EvalA fills dst (row-major m×m) with this packet's A matrix, evaluated
+// against the pre-update state.
+func (ls *LinearSpec) EvalA(in *Input, state, dst []float64) {
+	m := ls.Dim()
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			dst[i*m+j] = evalCoef(ls.A[i][j], in, state)
+		}
+	}
+}
+
+// EvalB fills dst (length m) with this packet's B vector, evaluated
+// against the pre-update state.
+func (ls *LinearSpec) EvalB(in *Input, state, dst []float64) {
+	for i := 0; i < ls.Dim(); i++ {
+		dst[i] = evalCoef(ls.B[i], in, state)
+	}
+}
+
+// IdentityP fills p (row-major m×m) with the identity matrix — the P value
+// a cache entry starts with on insertion.
+func IdentityP(p []float64, m int) {
+	for i := range p {
+		p[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		p[i*m+i] = 1
+	}
+}
+
+// StepP advances the running coefficient product: P ← A·P. scratch must
+// have length ≥ m·m and is clobbered. This is the extra per-packet work a
+// cache entry performs so that a later eviction can merge exactly; for
+// m = 1 it reduces to the single multiply the paper describes for
+// tracking (1-α)^N.
+func StepP(p, a, scratch []float64, m int) {
+	if m == 1 {
+		p[0] = a[0] * p[0]
+		return
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			var acc float64
+			for k := 0; k < m; k++ {
+				acc += a[i*m+k] * p[k*m+j]
+			}
+			scratch[i*m+j] = acc
+		}
+	}
+	copy(p[:m*m], scratch[:m*m])
+}
+
+// UpdateLinear applies one packet to (state, P) using the coefficient
+// form: state ← A·state + B and, if p is non-nil, P ← A·P. A and B are
+// evaluated against the pre-update state so that history-variable
+// references see the previous packet's values. aScratch and mScratch must
+// each have length ≥ m·m. The result must match Func.Update exactly;
+// tests enforce this.
+func (ls *LinearSpec) UpdateLinear(state, p []float64, in *Input, aScratch, mScratch []float64) {
+	m := ls.Dim()
+	ls.EvalA(in, state, aScratch)
+	var ns [MaxState]float64
+	for i := 0; i < m; i++ {
+		var acc float64
+		for k := 0; k < m; k++ {
+			acc += aScratch[i*m+k] * state[k]
+		}
+		ns[i] = acc + evalCoef(ls.B[i], in, state)
+	}
+	copy(state[:m], ns[:m])
+	if p != nil {
+		StepP(p, aScratch, mScratch, m)
+	}
+}
+
+// MergeLinearState reconciles an evicted cache value with the backing
+// store's value for history-free folds (§3.2, "the merge operation"):
+//
+//	S_correct = S_new + P·(S_backing − S_0)
+//
+// snew is the evicted state, p its running coefficient product over the
+// whole epoch, old the backing store's current value (pass s0 when the key
+// is absent), s0 the fold's initial state, and dst receives the merged
+// result (dst may alias snew or old).
+func MergeLinearState(dst, snew, p, old, s0 []float64, m int) {
+	if m == 1 {
+		dst[0] = snew[0] + p[0]*(old[0]-s0[0])
+		return
+	}
+	var tmp [MaxState]float64
+	for i := 0; i < m; i++ {
+		var acc float64
+		for k := 0; k < m; k++ {
+			acc += p[i*m+k] * (old[k] - s0[k])
+		}
+		tmp[i] = acc
+	}
+	for i := 0; i < m; i++ {
+		dst[i] = snew[i] + tmp[i]
+	}
+}
+
+// MergeWithFirstRec reconciles an evicted value for folds whose
+// coefficients reference history variables. The datapath snapshots the
+// first packet of each cache epoch; at merge time the first update is
+// replayed twice — once from the true prior state, once from S0 as the
+// cache actually ran it — and the running product P (which here covers
+// packets 2..N only) propagates the difference:
+//
+//	S_correct = S_new + P·(f(S_backing, pkt1) − f(S_0, pkt1))
+//
+// This reduces exactly to MergeLinearState when no coefficient references
+// history (then f(x, pkt1) − f(y, pkt1) = A1·(x−y) and P·A1 is the full
+// product). firstIn is the snapshot of the epoch's first packet.
+func MergeWithFirstRec(f *Func, dst, snew, p, old []float64, firstIn *Input) {
+	m := f.StateLen()
+	var trueS, baseS [MaxState]float64
+	copy(trueS[:m], old[:m])
+	f.Update(trueS[:m], firstIn)
+	f.Init(baseS[:m])
+	f.Update(baseS[:m], firstIn)
+	for i := 0; i < m; i++ {
+		baseS[i] = trueS[i] - baseS[i]
+	}
+	var tmp [MaxState]float64
+	for i := 0; i < m; i++ {
+		var acc float64
+		for k := 0; k < m; k++ {
+			acc += p[i*m+k] * baseS[k]
+		}
+		tmp[i] = acc
+	}
+	for i := 0; i < m; i++ {
+		dst[i] = snew[i] + tmp[i]
+	}
+}

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"perfq/internal/compiler"
+	"perfq/internal/exec"
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+	"perfq/internal/lang"
+	"perfq/internal/queries"
+	"perfq/internal/switchsim"
+	"perfq/internal/trace"
+	"perfq/internal/tracegen"
+)
+
+// Fig2Config parameterizes the expressiveness/correctness table.
+type Fig2Config struct {
+	Seed       int64
+	Duration   time.Duration
+	CachePairs int
+	Progress   io.Writer
+}
+
+// DefaultFig2 exercises every example on a 30-second datacenter trace with
+// a deliberately small cache, so the merge machinery is on the hot path.
+func DefaultFig2() Fig2Config {
+	return Fig2Config{Seed: 7, Duration: 30 * time.Second, CachePairs: 4096}
+}
+
+// Fig2Row reports one example's compilation and execution outcome.
+type Fig2Row struct {
+	Name        string
+	Linear      bool // compiler's classification
+	PaperLinear bool // the paper's column
+	Programs    int  // physical switch stores after fusion
+	ResultRows  int
+	Matches     bool    // datapath result equals ground truth (valid keys)
+	Accuracy    float64 // valid/total keys (1.0 for mergeable folds)
+	Evictions   uint64
+	Err         error
+}
+
+// Fig2Result is the full table.
+type Fig2Result struct {
+	Config  Fig2Config
+	Rows    []Fig2Row
+	Packets int
+	Elapsed time.Duration
+}
+
+// RunFig2 compiles and runs all seven Figure 2 examples over one shared
+// trace, comparing the split datapath against ground truth.
+func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
+	start := time.Now()
+	tcfg := tracegen.DCConfig(cfg.Seed, cfg.Duration)
+	tcfg.DropProb = 0.005
+	recs, err := trace.Collect(tracegen.New(tcfg))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig2Result{Config: cfg, Packets: len(recs)}
+	for _, ex := range queries.Fig2 {
+		row := Fig2Row{Name: ex.Name, PaperLinear: ex.Linear}
+		func() {
+			chk, err := lang.Check(lang.MustParse(ex.Source))
+			if err != nil {
+				row.Err = err
+				return
+			}
+			plan, err := compiler.Compile(chk)
+			if err != nil {
+				row.Err = err
+				return
+			}
+			row.Programs = len(plan.Programs)
+			row.Linear = plan.Programs[0].Fold.Merge == fold.MergeLinear
+
+			truth, err := exec.Run(plan, &trace.SliceSource{Records: recs})
+			if err != nil {
+				row.Err = err
+				return
+			}
+			dp, err := switchsim.New(plan, switchsim.Config{
+				Geometry: kvstore.SetAssociative(cfg.CachePairs, 8),
+			})
+			if err != nil {
+				row.Err = err
+				return
+			}
+			if err := dp.Run(&trace.SliceSource{Records: recs}); err != nil {
+				row.Err = err
+				return
+			}
+			got, err := dp.Collect()
+			if err != nil {
+				row.Err = err
+				return
+			}
+			for _, st := range dp.Stats() {
+				row.Evictions += st.Evictions
+			}
+
+			gt, dt := truth[ex.Result], got[ex.Result]
+			row.ResultRows = len(dt.Rows)
+			valid, total := dp.Accuracy(0)
+			if total == 0 {
+				row.Accuracy = 1
+			} else {
+				row.Accuracy = float64(valid) / float64(total)
+			}
+			k := plan.ByName[ex.Result].NumKeyCols()
+			row.Matches = tablesAgree(dt, gt, k, ex.Linear)
+		}()
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "  %-32s linear=%-5v programs=%d rows=%d match=%v\n",
+				row.Name, row.Linear, row.Programs, row.ResultRows, row.Matches)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// tablesAgree compares datapath output against ground truth: rows are
+// matched on their first k key columns (k = 0 means whole-row identity,
+// for plain select results whose columns are all exact) and value columns
+// compared with a small relative tolerance. Linear examples must cover
+// the ground truth exactly; the non-linear one must agree on every row it
+// reports.
+func tablesAgree(got, want *exec.Table, k int, linear bool) bool {
+	if linear && len(got.Rows) != len(want.Rows) {
+		return false
+	}
+	wantByKey := map[string][]float64{}
+	for _, r := range want.Rows {
+		kk := k
+		if kk == 0 {
+			kk = len(r)
+		}
+		wantByKey[rowSig(r[:kk])] = r
+	}
+	for _, g := range got.Rows {
+		kk := k
+		if kk == 0 {
+			kk = len(g)
+		}
+		w, ok := wantByKey[rowSig(g[:kk])]
+		if !ok {
+			return false
+		}
+		for i := kk; i < len(g); i++ {
+			if math.Abs(g[i]-w[i]) > 1e-6*math.Max(1, math.Abs(w[i])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rowSig encodes key values (exact integers in every example schema) as a
+// map key.
+func rowSig(vals []float64) string {
+	b := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		u := math.Float64bits(v)
+		for j := 0; j < 8; j++ {
+			b = append(b, byte(u>>(8*j)))
+		}
+	}
+	return string(b)
+}
+
+// Format renders the Figure 2 table.
+func (r *Fig2Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2: example queries (trace: %d records, cache %d pairs, 8-way)\n\n", r.Packets, r.Config.CachePairs)
+	fmt.Fprintf(w, "%-32s %-8s %-8s %-8s %-9s %-10s %s\n",
+		"example", "linear", "(paper)", "stores", "rows", "evictions", "matches ground truth")
+	for _, row := range r.Rows {
+		status := fmt.Sprintf("%v", row.Matches)
+		if row.Err != nil {
+			status = "ERROR: " + row.Err.Error()
+		}
+		if !row.Linear {
+			status += fmt.Sprintf(" (accuracy %.1f%% of keys valid)", row.Accuracy*100)
+		}
+		fmt.Fprintf(w, "%-32s %-8v %-8v %-8d %-9d %-10d %s\n",
+			row.Name, row.Linear, row.PaperLinear, row.Programs, row.ResultRows, row.Evictions, status)
+	}
+	fmt.Fprintf(w, "\nelapsed: %v\n", r.Elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallFig5 keeps test runtime modest while preserving the qualitative
+// shape the assertions check.
+func smallFig5() Fig5Config {
+	return Fig5Config{
+		Seed:       2016,
+		Packets:    400_000,
+		SizesPairs: []int{1 << 9, 1 << 10, 1 << 11, 1 << 12},
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := RunFig5(smallFig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	if res.UniqueFlows == 0 || res.Packets != 400_000 {
+		t.Fatalf("trace stats: %d pkts %d flows", res.Packets, res.UniqueFlows)
+	}
+	ratio := float64(res.Packets) / float64(res.UniqueFlows)
+	// CI-scale traces are the first seconds of a capture, so the ratio
+	// sits well below the minutes-scale 41; it grows with Packets.
+	if ratio < 5 || ratio > 90 {
+		t.Errorf("pkts/flow = %.1f, out of the plausible band", ratio)
+	}
+
+	for i, row := range res.Rows {
+		full := row.EvictFrac["fully-associative"]
+		way8 := row.EvictFrac["8-way"]
+		hash := row.EvictFrac["hash-table"]
+		// Geometry ordering (Figure 5's first insight).
+		if !(full <= way8+1e-12 && way8 <= hash+1e-12) {
+			t.Errorf("row %d: ordering violated: full=%.4f 8way=%.4f hash=%.4f", i, full, way8, hash)
+		}
+		// Monotone in cache size.
+		if i > 0 {
+			prev := res.Rows[i-1]
+			for _, g := range GeometryLabels {
+				if row.EvictFrac[g] > prev.EvictFrac[g]+1e-12 {
+					t.Errorf("%s: eviction rate rose with cache size (%.4f -> %.4f)",
+						g, prev.EvictFrac[g], row.EvictFrac[g])
+				}
+			}
+		}
+		// Right panel is a fixed rescale of the left.
+		for _, g := range GeometryLabels {
+			want := row.EvictFrac[g] * TypicalPktPerSec
+			if row.EvictPerSec[g] != want {
+				t.Errorf("evictions/s inconsistent with fraction")
+			}
+		}
+	}
+
+	// The paper's second insight: 8-way is close to fully associative.
+	// At our scaled 32-Mbit-equivalent point the relative gap should be
+	// well under 50% (the paper reports 2% at full scale).
+	frac, gap, pairs := res.Headline8Way()
+	if frac <= 0 || frac > 0.30 {
+		t.Errorf("headline 8-way eviction fraction = %.4f at %d pairs", frac, pairs)
+	}
+	if gap < 0 || gap > 0.5 {
+		t.Errorf("8-way vs full gap = %.3f at %d pairs", gap, pairs)
+	}
+
+	var buf bytes.Buffer
+	res.Format(&buf)
+	for _, frag := range []string{"Figure 5", "% evictions", "evictions/sec", "8-way"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("formatted output missing %q", frag)
+		}
+	}
+}
+
+func TestFig6Tradeoffs(t *testing.T) {
+	cfg := Fig6Config{
+		Seed:       63,
+		Duration:   80 * time.Second,
+		FlowRate:   300,
+		Windows:    []time.Duration{20 * time.Second, 80 * time.Second},
+		SizesPairs: []int{1 << 9, 1 << 11},
+	}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		short := row.Accuracy[20*time.Second]
+		long := row.Accuracy[80*time.Second]
+		if short < long-1e-9 {
+			t.Errorf("%d pairs: accuracy should not decrease with shorter windows: 20s=%.3f 80s=%.3f",
+				row.Pairs, short, long)
+		}
+		if short <= 0 || short > 1 || long <= 0 || long > 1 {
+			t.Errorf("accuracy out of range: %v", row.Accuracy)
+		}
+	}
+	// Bigger cache ⇒ higher (or equal) accuracy at the same window.
+	if res.Rows[1].Accuracy[80*time.Second] < res.Rows[0].Accuracy[80*time.Second]-1e-9 {
+		t.Errorf("accuracy fell with a larger cache: %v vs %v",
+			res.Rows[1].Accuracy, res.Rows[0].Accuracy)
+	}
+	// The small cache at the long window must actually lose keys.
+	if res.Rows[0].Accuracy[80*time.Second] > 0.999 {
+		t.Errorf("no invalid keys at the small cache; experiment not exercising eviction")
+	}
+
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("format header missing")
+	}
+}
+
+func TestFig2TableMatchesPaper(t *testing.T) {
+	cfg := Fig2Config{Seed: 7, Duration: 5 * time.Second, CachePairs: 1024}
+	res, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			t.Errorf("%s: %v", row.Name, row.Err)
+			continue
+		}
+		if row.Linear != row.PaperLinear {
+			t.Errorf("%s: linear=%v, paper says %v", row.Name, row.Linear, row.PaperLinear)
+		}
+		if !row.Matches {
+			t.Errorf("%s: datapath does not match ground truth", row.Name)
+		}
+		if row.ResultRows == 0 && row.Name != "High 99th percentile queue size" {
+			t.Errorf("%s: empty result", row.Name)
+		}
+	}
+	// Fusion headline: loss rate uses one store.
+	for _, row := range res.Rows {
+		if row.Name == "Per-flow loss rate" && row.Programs != 1 {
+			t.Errorf("loss rate compiled to %d stores, want 1 (fused)", row.Programs)
+		}
+	}
+
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "Per-flow loss rate") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestCensusAndArea(t *testing.T) {
+	res, err := RunCensus(5, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueFlows < 1000 {
+		t.Fatalf("unique flows = %d", res.UniqueFlows)
+	}
+	if res.OnChipBits != res.UniqueFlows*128 {
+		t.Error("bits arithmetic wrong")
+	}
+	// The paper's 32-Mbit area headline must hold in the model: < 2.5%.
+	if res.Target32MbitFraction >= 0.025 {
+		t.Errorf("32-Mbit cache costs %.2f%% of the die, paper says < 2.5%%", 100*res.Target32MbitFraction)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "unique 5-tuples") {
+		t.Error("census format incomplete")
+	}
+}
+
+func TestBackingThroughputSmoke(t *testing.T) {
+	res, err := RunBackingThroughput(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerSec < 50_000 {
+		t.Errorf("loopback eviction sink only %.0f/s", res.PerSec)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "evictions/s") {
+		t.Error("throughput format incomplete")
+	}
+}

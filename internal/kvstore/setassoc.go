@@ -1,0 +1,192 @@
+package kvstore
+
+import (
+	"perfq/internal/fold"
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+// setAssoc is the array-layout cache for n ≥ 2 buckets (Figure 4): slot
+// storage is fixed; LRU order within a bucket is a tiny per-bucket
+// permutation of slot indices, so promoting an entry moves one byte, not
+// the state vectors.
+type setAssoc struct {
+	cfg   Config
+	geom  Geometry
+	mask  uint64
+	ways  int
+	m     int // state vector length
+	exact bool
+
+	// Slot storage, indexed by bucket*ways+slot.
+	keys  []packet.Key128
+	state []float64 // m per slot
+	prod  []float64 // m*m per slot (exact merge only)
+	first []trace.Record
+
+	// order[bucket*ways+i] = slot index of the i-th most recently used
+	// entry of the bucket; only the first fill(bucket) entries are live.
+	order []uint8
+	fill  []uint8
+
+	stats Stats
+
+	aScratch []float64
+	mScratch []float64
+	resident int
+}
+
+func newSetAssoc(cfg Config, g Geometry) *setAssoc {
+	m := cfg.Fold.StateLen()
+	c := &setAssoc{
+		cfg:   cfg,
+		geom:  g,
+		mask:  uint64(g.Buckets - 1),
+		ways:  g.Ways,
+		m:     m,
+		exact: cfg.ExactMerge,
+		keys:  make([]packet.Key128, g.Buckets*g.Ways),
+		state: make([]float64, g.Buckets*g.Ways*m),
+		order: make([]uint8, g.Buckets*g.Ways),
+		fill:  make([]uint8, g.Buckets),
+	}
+	if cfg.ExactMerge {
+		c.prod = make([]float64, g.Buckets*g.Ways*m*m)
+		c.first = make([]trace.Record, g.Buckets*g.Ways)
+		c.aScratch = make([]float64, m*m)
+		c.mScratch = make([]float64, m*m)
+	}
+	return c
+}
+
+func (c *setAssoc) Geometry() Geometry { return c.geom }
+func (c *setAssoc) Len() int           { return c.resident }
+func (c *setAssoc) Stats() Stats       { return c.stats }
+
+func (c *setAssoc) slotState(slot int) []float64 {
+	return c.state[slot*c.m : slot*c.m+c.m]
+}
+
+func (c *setAssoc) slotProd(slot int) []float64 {
+	mm := c.m * c.m
+	return c.prod[slot*mm : slot*mm+mm]
+}
+
+// Process implements Cache.
+func (c *setAssoc) Process(key packet.Key128, in *fold.Input) {
+	c.stats.Accesses++
+	b := int(key.Hash() & c.mask)
+	base := b * c.ways
+	n := int(c.fill[b])
+	ord := c.order[base : base+c.ways]
+
+	// Hit path: scan the bucket in recency order.
+	for i := 0; i < n; i++ {
+		slot := base + int(ord[i])
+		if c.keys[slot] == key {
+			c.stats.Hits++
+			c.update(slot, in)
+			// Promote to MRU: rotate ord[0..i] right by one.
+			mru := ord[i]
+			copy(ord[1:i+1], ord[0:i])
+			ord[0] = mru
+			return
+		}
+	}
+
+	// Miss path: pick a slot — a free one, else the bucket's LRU victim.
+	var slotIdx uint8
+	if n < c.ways {
+		// Free slots are exactly the order entries beyond fill; slot ids
+		// 0..ways-1 each appear once in ord by invariant, so take the one
+		// at position n (initialized lazily below).
+		slotIdx = c.freeSlot(b, n)
+		c.fill[b]++
+		c.resident++
+	} else {
+		slotIdx = ord[n-1]
+		c.evict(base+int(slotIdx), EvictCapacity)
+		c.stats.Evictions++
+	}
+	slot := base + int(slotIdx)
+	c.insert(slot, key, in)
+	c.stats.Inserts++
+	// Promote the new entry to MRU.
+	if n >= c.ways {
+		n = c.ways - 1
+	}
+	copy(ord[1:n+1], ord[0:n])
+	ord[0] = slotIdx
+}
+
+// freeSlot returns a slot id not currently used by the bucket. Order
+// entries are maintained as a permutation of 0..ways-1 once initialized;
+// before first fill they are zero, so initialize on demand.
+func (c *setAssoc) freeSlot(b, n int) uint8 {
+	base := b * c.ways
+	ord := c.order[base : base+c.ways]
+	if n == 0 {
+		// Lazily establish the identity permutation.
+		for i := range ord {
+			ord[i] = uint8(i)
+		}
+		return 0
+	}
+	return ord[n]
+}
+
+// update applies one packet to a resident entry.
+func (c *setAssoc) update(slot int, in *fold.Input) {
+	st := c.slotState(slot)
+	if c.exact {
+		c.cfg.Fold.Linear.UpdateLinear(st, c.slotProd(slot), in, c.aScratch, c.mScratch)
+		return
+	}
+	c.cfg.Fold.Update(st, in)
+}
+
+// insert initializes a slot for a new key and applies its first packet.
+func (c *setAssoc) insert(slot int, key packet.Key128, in *fold.Input) {
+	c.keys[slot] = key
+	st := c.slotState(slot)
+	c.cfg.Fold.Init(st)
+	c.cfg.Fold.Update(st, in)
+	if c.exact {
+		// P starts at identity and excludes the first packet, which is
+		// snapshotted instead (fold.MergeWithFirstRec replays it).
+		fold.IdentityP(c.slotProd(slot), c.m)
+		c.first[slot] = *in.Rec
+	}
+}
+
+// evict delivers an entry to the eviction handler and clears the slot.
+func (c *setAssoc) evict(slot int, reason EvictReason) {
+	if c.cfg.OnEvict != nil {
+		ev := Eviction{
+			Key:    c.keys[slot],
+			State:  c.slotState(slot),
+			Reason: reason,
+		}
+		if c.exact {
+			ev.P = c.slotProd(slot)
+			ev.FirstRec = &c.first[slot]
+		}
+		c.cfg.OnEvict(&ev)
+	}
+}
+
+// Flush implements Cache: evicts every resident entry bucket by bucket in
+// recency order.
+func (c *setAssoc) Flush() {
+	for b := 0; b < c.geom.Buckets; b++ {
+		base := b * c.ways
+		n := int(c.fill[b])
+		for i := 0; i < n; i++ {
+			slot := base + int(c.order[base+i])
+			c.evict(slot, EvictFlush)
+			c.stats.Flushed++
+		}
+		c.fill[b] = 0
+	}
+	c.resident = 0
+}

@@ -1,0 +1,385 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"perfq/internal/trace"
+)
+
+// Aggregate builtin names (matched case-insensitively in queries).
+const (
+	AggCount = "count"
+	AggSum   = "sum"
+	AggMax   = "max"
+	AggMin   = "min"
+	AggAvg   = "avg"
+	AggEwma  = "ewma"
+)
+
+// IsAggregate reports whether name is a builtin aggregate.
+func IsAggregate(name string) bool {
+	switch strings.ToLower(name) {
+	case AggCount, AggSum, AggMax, AggMin, AggAvg, AggEwma:
+		return true
+	}
+	return false
+}
+
+// Column is one column of a query's output schema.
+type Column struct {
+	// Name is the canonical column name (a key field name like "srcip", a
+	// state-variable name like "oos_count", or an aggregate's canonical
+	// print like "sum((tout - tin))").
+	Name string
+	// Aliases are additional accepted spellings (fold name for
+	// single-state folds, dotted fold.var forms, AS aliases, short
+	// aggregate names).
+	Aliases []string
+	// IsKey marks grouping-key columns.
+	IsKey bool
+	// Field is the underlying raw schema field for key columns derived
+	// from T (valid only when IsKey and the query reads T).
+	Field trace.FieldID
+}
+
+// Matches reports whether the column answers to name.
+func (c *Column) Matches(name string) bool {
+	if strings.EqualFold(c.Name, name) {
+		return true
+	}
+	for _, a := range c.Aliases {
+		if strings.EqualFold(a, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// FoldUse is one aggregation appearing in a group query's SELECT list.
+type FoldUse struct {
+	// Name is the fold's name: a user fold or a builtin aggregate.
+	Name string
+	// Decl is the user fold declaration (nil for builtins).
+	Decl *FoldDecl
+	// Args are the builtin's argument expressions (input-row expressions).
+	Args []Expr
+	// Alias is the AS name, if any.
+	Alias string
+	// Pos locates the use for diagnostics.
+	Pos Pos
+}
+
+// CheckedQuery is a validated query with resolved inputs and schema.
+type CheckedQuery struct {
+	Decl *QueryDecl
+	// Name is the query's result name (R1, …); anonymous queries are
+	// assigned _1, _2, ….
+	Name string
+	// Input is the upstream query, nil when reading the raw table T.
+	// Joins use Left/Right instead.
+	Input *CheckedQuery
+	// Left/Right are the join inputs (nil for non-joins).
+	Left, Right *CheckedQuery
+	// IsGroup marks GROUPBY queries.
+	IsGroup bool
+	// GroupFields is the expanded grouping key: raw schema fields when
+	// reading T, or upstream column indices when reading a derived table.
+	GroupFields []trace.FieldID
+	GroupCols   []int
+	// Folds are the aggregations of a group query.
+	Folds []FoldUse
+	// Where is the validated input filter (nil if absent).
+	Where Expr
+	// Schema is the output schema.
+	Schema []Column
+	// SelectedCols, for plain (non-group, non-join) selects, maps each
+	// output column to an input expression.
+	SelectedCols []SelectCol
+	// On, for joins, is the key column count (the first len(On) schema
+	// columns of each side).
+	OnCols int
+}
+
+// Checked is a fully validated program.
+type Checked struct {
+	Prog    *Program
+	Consts  map[string]float64
+	Folds   map[string]*FoldDecl
+	Queries []*CheckedQuery
+	ByName  map[string]*CheckedQuery
+	// Results are the DAG sinks: queries no other query consumes.
+	Results []*CheckedQuery
+}
+
+// Check validates a parsed program: constant expressions fold, fold bodies
+// reference only their parameters and constants, queries reference only
+// defined tables/columns, GROUPBY and JOIN restrictions hold.
+func Check(prog *Program) (*Checked, error) {
+	c := &Checked{
+		Prog:   prog,
+		Consts: map[string]float64{},
+		Folds:  map[string]*FoldDecl{},
+		ByName: map[string]*CheckedQuery{},
+	}
+
+	for _, cd := range prog.Consts {
+		if _, dup := c.Consts[cd.Name]; dup {
+			return nil, errf(cd.Pos, "constant %q redefined", cd.Name)
+		}
+		v, err := c.evalConst(cd.Expr)
+		if err != nil {
+			return nil, err
+		}
+		c.Consts[cd.Name] = v
+	}
+
+	for _, fd := range prog.Folds {
+		if err := c.checkFold(fd); err != nil {
+			return nil, err
+		}
+		c.Folds[fd.Name] = fd
+	}
+
+	if len(prog.Queries) == 0 {
+		return nil, errf(Pos{1, 1}, "program contains no queries")
+	}
+
+	consumed := map[string]bool{}
+	anon := 0
+	for _, qd := range prog.Queries {
+		name := qd.Name
+		if name == "" {
+			anon++
+			name = fmt.Sprintf("_%d", anon)
+		}
+		if _, dup := c.ByName[name]; dup {
+			return nil, errf(qd.Pos, "query %q redefined", name)
+		}
+		cq, err := c.checkQuery(qd, name, consumed)
+		if err != nil {
+			return nil, err
+		}
+		c.Queries = append(c.Queries, cq)
+		c.ByName[name] = cq
+	}
+	for _, cq := range c.Queries {
+		if !consumed[cq.Name] {
+			c.Results = append(c.Results, cq)
+		}
+	}
+	return c, nil
+}
+
+// evalConst folds a constant expression to a float64.
+func (c *Checked) evalConst(e Expr) (float64, error) {
+	switch e := e.(type) {
+	case *NumberLit:
+		return e.Value, nil
+	case *InfinityLit:
+		return float64(trace.Infinity), nil
+	case *Ident:
+		if v, ok := c.Consts[e.Name]; ok {
+			return v, nil
+		}
+		return 0, errf(e.Pos, "constant expression references %q, which is not a constant", e.Name)
+	case *UnaryExpr:
+		if e.Op != MINUS {
+			return 0, errf(e.Pos, "constant expressions cannot use NOT")
+		}
+		v, err := c.evalConst(e.X)
+		return -v, err
+	case *BinExpr:
+		l, err := c.evalConst(e.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := c.evalConst(e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case PLUS:
+			return l + r, nil
+		case MINUS:
+			return l - r, nil
+		case STAR:
+			return l * r, nil
+		case SLASH:
+			if r == 0 {
+				return 0, errf(e.Pos, "constant division by zero")
+			}
+			return l / r, nil
+		default:
+			return 0, errf(e.Pos, "operator %s not allowed in constant expressions", opText(e.Op))
+		}
+	default:
+		return 0, errf(e.exprPos(), "expression is not constant")
+	}
+}
+
+// checkFold validates a fold declaration's parameters and body.
+func (c *Checked) checkFold(fd *FoldDecl) error {
+	if _, dup := c.Folds[fd.Name]; dup {
+		return errf(fd.Pos, "fold %q redefined", fd.Name)
+	}
+	// A user fold may share a builtin aggregate's name (the paper's own
+	// example is "def ewma"); bare identifiers resolve to the user fold,
+	// call syntax with arguments to the builtin.
+	seen := map[string]string{}
+	for _, p := range fd.StateParams {
+		if prev, dup := seen[p]; dup {
+			return errf(fd.Pos, "parameter %q duplicated (%s)", p, prev)
+		}
+		seen[p] = "state"
+	}
+	for _, p := range fd.RowParams {
+		if prev, dup := seen[p]; dup {
+			return errf(fd.Pos, "parameter %q duplicated (%s)", p, prev)
+		}
+		seen[p] = "row"
+	}
+	if len(fd.StateParams) == 0 {
+		return errf(fd.Pos, "fold %q needs at least one state variable", fd.Name)
+	}
+	return c.checkFoldStmts(fd, fd.Body)
+}
+
+func (c *Checked) checkFoldStmts(fd *FoldDecl, stmts []Stmt) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *AssignStmt:
+			if !contains(fd.StateParams, s.Name) {
+				if contains(fd.RowParams, s.Name) {
+					return errf(s.Pos, "cannot assign to row parameter %q", s.Name)
+				}
+				return errf(s.Pos, "assignment to %q, which is not a state variable of %s", s.Name, fd.Name)
+			}
+			if ty, err := c.foldExprType(fd, s.Expr); err != nil {
+				return err
+			} else if ty != tyNum {
+				return errf(s.Expr.exprPos(), "state assignment needs a numeric expression")
+			}
+		case *IfStmt:
+			ty, err := c.foldExprType(fd, s.Cond)
+			if err != nil {
+				return err
+			}
+			if ty != tyBool {
+				return errf(s.Cond.exprPos(), "if condition must be boolean")
+			}
+			if err := c.checkFoldStmts(fd, s.Then); err != nil {
+				return err
+			}
+			if err := c.checkFoldStmts(fd, s.Else); err != nil {
+				return err
+			}
+		default:
+			return errf(s.stmtPos(), "unsupported statement")
+		}
+	}
+	return nil
+}
+
+type ty uint8
+
+const (
+	tyNum ty = iota
+	tyBool
+)
+
+// foldExprType types an expression inside a fold body.
+func (c *Checked) foldExprType(fd *FoldDecl, e Expr) (ty, error) {
+	switch e := e.(type) {
+	case *NumberLit, *InfinityLit:
+		return tyNum, nil
+	case *BoolLit:
+		return tyBool, nil
+	case *Ident:
+		if contains(fd.StateParams, e.Name) || contains(fd.RowParams, e.Name) {
+			return tyNum, nil
+		}
+		if _, ok := c.Consts[e.Name]; ok {
+			return tyNum, nil
+		}
+		return 0, errf(e.Pos, "%q is not a parameter of %s or a constant", e.Name, fd.Name)
+	case *Dotted:
+		return 0, errf(e.Pos, "dotted references are not allowed inside fold bodies")
+	case *UnaryExpr:
+		xt, err := c.foldExprType(fd, e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == KwNot {
+			if xt != tyBool {
+				return 0, errf(e.Pos, "NOT needs a boolean operand")
+			}
+			return tyBool, nil
+		}
+		if xt != tyNum {
+			return 0, errf(e.Pos, "negation needs a numeric operand")
+		}
+		return tyNum, nil
+	case *BinExpr:
+		lt, err := c.foldExprType(fd, e.L)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := c.foldExprType(fd, e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case PLUS, MINUS, STAR, SLASH:
+			if lt != tyNum || rt != tyNum {
+				return 0, errf(e.Pos, "arithmetic needs numeric operands")
+			}
+			return tyNum, nil
+		case EQ, NE, LT, LE, GT, GE:
+			if lt != tyNum || rt != tyNum {
+				return 0, errf(e.Pos, "comparison needs numeric operands")
+			}
+			return tyBool, nil
+		case KwAnd, KwOr:
+			if lt != tyBool || rt != tyBool {
+				return 0, errf(e.Pos, "%s needs boolean operands", opText(e.Op))
+			}
+			return tyBool, nil
+		}
+		return 0, errf(e.Pos, "unknown operator")
+	case *CallExpr:
+		switch strings.ToLower(e.Name) {
+		case "min", "max":
+			if len(e.Args) != 2 {
+				return 0, errf(e.Pos, "%s takes 2 arguments", e.Name)
+			}
+		case "abs":
+			if len(e.Args) != 1 {
+				return 0, errf(e.Pos, "abs takes 1 argument")
+			}
+		default:
+			return 0, errf(e.Pos, "unknown function %q in fold body (min, max, abs available)", e.Name)
+		}
+		for _, a := range e.Args {
+			at, err := c.foldExprType(fd, a)
+			if err != nil {
+				return 0, err
+			}
+			if at != tyNum {
+				return 0, errf(a.exprPos(), "%s needs numeric arguments", e.Name)
+			}
+		}
+		return tyNum, nil
+	default:
+		return 0, errf(e.exprPos(), "unsupported expression in fold body")
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

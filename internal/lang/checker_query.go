@@ -1,0 +1,695 @@
+package lang
+
+import (
+	"strings"
+
+	"perfq/internal/trace"
+)
+
+// fiveTupleNames is the expansion of the 5tuple shorthand.
+var fiveTupleNames = []string{"srcip", "dstip", "srcport", "dstport", "proto"}
+
+// checkQuery validates one query declaration and computes its schema.
+func (c *Checked) checkQuery(qd *QueryDecl, name string, consumed map[string]bool) (*CheckedQuery, error) {
+	switch q := qd.Query.(type) {
+	case *SelectQuery:
+		return c.checkSelect(qd, q, name, consumed)
+	case *JoinQuery:
+		return c.checkJoin(qd, q, name, consumed)
+	default:
+		return nil, errf(qd.Pos, "unknown query type %T", qd.Query)
+	}
+}
+
+// resolveInput returns the upstream query for a table name, or nil for T.
+func (c *Checked) resolveInput(table string, pos Pos, consumed map[string]bool) (*CheckedQuery, error) {
+	if table == "T" || table == "" {
+		return nil, nil
+	}
+	in, ok := c.ByName[table]
+	if !ok {
+		return nil, errf(pos, "query reads %q, which is not T or a previously defined query", table)
+	}
+	consumed[table] = true
+	return in, nil
+}
+
+// columnIndex resolves name in a derived schema; -1 if absent.
+func columnIndex(schema []Column, name string) int {
+	for i := range schema {
+		if schema[i].Matches(name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// resolveName checks that an identifier is meaningful over the given input
+// (nil input = the raw table T).
+func (c *Checked) resolveName(input *CheckedQuery, name string, pos Pos) error {
+	if _, ok := c.Consts[name]; ok {
+		return nil
+	}
+	if input == nil {
+		if _, ok := trace.FieldByName(name); ok {
+			return nil
+		}
+		return errf(pos, "%q is not a schema field or constant", name)
+	}
+	if columnIndex(input.Schema, name) < 0 {
+		return errf(pos, "%q is not a column of %s (columns: %s)", name, input.Name, schemaNames(input.Schema))
+	}
+	return nil
+}
+
+func schemaNames(schema []Column) string {
+	names := make([]string, len(schema))
+	for i := range schema {
+		names[i] = schema[i].Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// exprType type-checks an expression over an input table. Dotted
+// references resolve fold-state columns (base.col) on derived inputs.
+func (c *Checked) exprType(input *CheckedQuery, e Expr) (ty, error) {
+	switch e := e.(type) {
+	case *NumberLit, *InfinityLit:
+		return tyNum, nil
+	case *BoolLit:
+		return tyBool, nil
+	case *Ident:
+		if err := c.resolveName(input, e.Name, e.Pos); err != nil {
+			return 0, err
+		}
+		return tyNum, nil
+	case *Dotted:
+		if input == nil {
+			return 0, errf(e.Pos, "dotted reference %s over the raw table T", e)
+		}
+		if columnIndex(input.Schema, e.String()) < 0 {
+			return 0, errf(e.Pos, "%s is not a column of %s (columns: %s)", e, input.Name, schemaNames(input.Schema))
+		}
+		return tyNum, nil
+	case *UnaryExpr:
+		xt, err := c.exprType(input, e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == KwNot {
+			if xt != tyBool {
+				return 0, errf(e.Pos, "NOT needs a boolean operand")
+			}
+			return tyBool, nil
+		}
+		if xt != tyNum {
+			return 0, errf(e.Pos, "negation needs a numeric operand")
+		}
+		return tyNum, nil
+	case *BinExpr:
+		lt, err := c.exprType(input, e.L)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := c.exprType(input, e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case PLUS, MINUS, STAR, SLASH:
+			if lt != tyNum || rt != tyNum {
+				return 0, errf(e.Pos, "arithmetic needs numeric operands")
+			}
+			return tyNum, nil
+		case EQ, NE, LT, LE, GT, GE:
+			if lt != tyNum || rt != tyNum {
+				return 0, errf(e.Pos, "comparison needs numeric operands")
+			}
+			return tyBool, nil
+		case KwAnd, KwOr:
+			if lt != tyBool || rt != tyBool {
+				return 0, errf(e.Pos, "%s needs boolean operands", opText(e.Op))
+			}
+			return tyBool, nil
+		}
+		return 0, errf(e.Pos, "unknown operator")
+	case *CallExpr:
+		// Aggregate-shaped calls are valid expressions only over derived
+		// tables, where they name an upstream aggregate column (the
+		// paper's "WHERE SUM(tout-tin) > L").
+		if input != nil && columnIndex(input.Schema, canonicalCall(e)) >= 0 {
+			return tyNum, nil
+		}
+		switch strings.ToLower(e.Name) {
+		case "min", "max":
+			if len(e.Args) == 2 {
+				for _, a := range e.Args {
+					if at, err := c.exprType(input, a); err != nil {
+						return 0, err
+					} else if at != tyNum {
+						return 0, errf(a.exprPos(), "%s needs numeric arguments", e.Name)
+					}
+				}
+				return tyNum, nil
+			}
+		case "abs":
+			if len(e.Args) == 1 {
+				if at, err := c.exprType(input, e.Args[0]); err != nil {
+					return 0, err
+				} else if at != tyNum {
+					return 0, errf(e.Pos, "abs needs a numeric argument")
+				}
+				return tyNum, nil
+			}
+		}
+		if IsAggregate(e.Name) {
+			if input == nil {
+				return 0, errf(e.Pos, "aggregate %s is only valid in a GROUPBY select list", e.Name)
+			}
+			return 0, errf(e.Pos, "%s does not match any column of %s", canonicalCall(e), input.Name)
+		}
+		return 0, errf(e.Pos, "unknown function %q", e.Name)
+	case *StarExpr:
+		return 0, errf(e.Pos, "* is only valid as a whole select column")
+	default:
+		return 0, errf(e.exprPos(), "unsupported expression")
+	}
+}
+
+// canonicalCall renders an aggregate call in canonical column-name form.
+func canonicalCall(e *CallExpr) string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return strings.ToLower(e.Name) + "(" + strings.Join(args, ", ") + ")"
+}
+
+// expandGroupItems expands GROUPBY items (including 5tuple) into field IDs
+// (over T) or column indices (over a derived input), plus display names.
+func (c *Checked) expandGroupItems(input *CheckedQuery, items []Expr) (fields []trace.FieldID, cols []int, names []string, err error) {
+	add := func(name string, pos Pos) error {
+		if input == nil {
+			f, ok := trace.FieldByName(name)
+			if !ok {
+				return errf(pos, "GROUPBY field %q is not in the packet-performance schema", name)
+			}
+			fields = append(fields, f)
+			names = append(names, f.String())
+			return nil
+		}
+		idx := columnIndex(input.Schema, name)
+		if idx < 0 {
+			return errf(pos, "GROUPBY column %q is not a column of %s (columns: %s)", name, input.Name, schemaNames(input.Schema))
+		}
+		cols = append(cols, idx)
+		names = append(names, input.Schema[idx].Name)
+		return nil
+	}
+	for _, item := range items {
+		switch item := item.(type) {
+		case *Ident:
+			if item.Name == "5tuple" {
+				for _, n := range fiveTupleNames {
+					if err := add(n, item.Pos); err != nil {
+						return nil, nil, nil, err
+					}
+				}
+				continue
+			}
+			if err := add(item.Name, item.Pos); err != nil {
+				return nil, nil, nil, err
+			}
+		case *Dotted:
+			if err := add(item.String(), item.Pos); err != nil {
+				return nil, nil, nil, err
+			}
+		default:
+			return nil, nil, nil, errf(item.exprPos(), "GROUPBY items must be field or column names")
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, errf(Pos{}, "empty GROUPBY")
+	}
+	return fields, cols, names, nil
+}
+
+// checkSelect validates plain and GROUPBY selects.
+func (c *Checked) checkSelect(qd *QueryDecl, q *SelectQuery, name string, consumed map[string]bool) (*CheckedQuery, error) {
+	input, err := c.resolveInput(q.From, q.Pos, consumed)
+	if err != nil {
+		return nil, err
+	}
+	cq := &CheckedQuery{Decl: qd, Name: name, Input: input}
+
+	if q.Where != nil {
+		wt, err := c.exprType(input, q.Where)
+		if err != nil {
+			return nil, err
+		}
+		if wt != tyBool {
+			return nil, errf(q.Where.exprPos(), "WHERE needs a boolean predicate")
+		}
+		cq.Where = q.Where
+	}
+
+	if len(q.GroupBy) == 0 {
+		return c.checkPlainSelect(cq, q)
+	}
+	return c.checkGroupSelect(cq, q)
+}
+
+// checkPlainSelect handles per-record selection/projection.
+func (c *Checked) checkPlainSelect(cq *CheckedQuery, q *SelectQuery) (*CheckedQuery, error) {
+	for _, col := range q.Cols {
+		if _, ok := col.Expr.(*StarExpr); ok {
+			if len(q.Cols) != 1 {
+				return nil, errf(col.Expr.exprPos(), "* cannot be combined with other columns")
+			}
+			if cq.Input == nil {
+				// All schema fields.
+				for f := trace.FieldID(1); int(f) < trace.NumFields; f++ {
+					cq.Schema = append(cq.Schema, Column{Name: f.String(), Field: f})
+					cq.SelectedCols = append(cq.SelectedCols, SelectCol{Expr: &Ident{Name: f.String()}})
+				}
+			} else {
+				for i := range cq.Input.Schema {
+					col := cq.Input.Schema[i]
+					col.IsKey = false
+					cq.Schema = append(cq.Schema, col)
+					cq.SelectedCols = append(cq.SelectedCols, SelectCol{Expr: &Ident{Name: cq.Input.Schema[i].Name}})
+				}
+			}
+			return cq, nil
+		}
+		// 5tuple shorthand in a select list.
+		if id, ok := col.Expr.(*Ident); ok && id.Name == "5tuple" {
+			for _, n := range fiveTupleNames {
+				sub := &Ident{Name: n, Pos: id.Pos}
+				if _, err := c.exprType(cq.Input, sub); err != nil {
+					return nil, err
+				}
+				cq.Schema = append(cq.Schema, c.outputColumn(cq.Input, SelectCol{Expr: sub}))
+				cq.SelectedCols = append(cq.SelectedCols, SelectCol{Expr: sub})
+			}
+			continue
+		}
+		t, err := c.exprType(cq.Input, col.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if t != tyNum {
+			return nil, errf(col.Expr.exprPos(), "select columns must be numeric expressions")
+		}
+		cq.Schema = append(cq.Schema, c.outputColumn(cq.Input, col))
+		cq.SelectedCols = append(cq.SelectedCols, col)
+	}
+	return cq, nil
+}
+
+// outputColumn names a plain select's output column.
+func (c *Checked) outputColumn(input *CheckedQuery, col SelectCol) Column {
+	name := col.Alias
+	if name == "" {
+		switch e := col.Expr.(type) {
+		case *Ident:
+			name = e.Name
+		case *Dotted:
+			name = e.String()
+		case *CallExpr:
+			name = canonicalCall(e)
+		default:
+			name = e.String()
+		}
+	}
+	out := Column{Name: name}
+	if col.Alias != "" {
+		out.Aliases = append(out.Aliases, col.Expr.String())
+	}
+	if input == nil {
+		if f, ok := trace.FieldByName(name); ok {
+			out.Field = f
+		}
+	} else if idx := columnIndex(input.Schema, name); idx >= 0 {
+		// Propagate aliases of passed-through columns.
+		out.Aliases = append(out.Aliases, input.Schema[idx].Aliases...)
+	}
+	return out
+}
+
+// checkGroupSelect handles GROUPBY aggregation queries.
+func (c *Checked) checkGroupSelect(cq *CheckedQuery, q *SelectQuery) (*CheckedQuery, error) {
+	cq.IsGroup = true
+	fields, cols, keyNames, err := c.expandGroupItems(cq.Input, q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	cq.GroupFields = fields
+	cq.GroupCols = cols
+
+	// Key columns come first in the output schema.
+	for i, kn := range keyNames {
+		col := Column{Name: kn, IsKey: true}
+		if cq.Input == nil {
+			col.Field = fields[i]
+		}
+		cq.Schema = append(cq.Schema, col)
+	}
+
+	isKeyName := func(n string) bool {
+		for _, kn := range keyNames {
+			if strings.EqualFold(kn, n) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, col := range q.Cols {
+		switch e := col.Expr.(type) {
+		case *StarExpr:
+			return nil, errf(e.Pos, "* is not allowed in a GROUPBY select list")
+		case *Ident:
+			// Key field, 5tuple shorthand, user fold, or bare COUNT.
+			if e.Name == "5tuple" {
+				for _, n := range fiveTupleNames {
+					if !isKeyName(n) {
+						return nil, errf(e.Pos, "5tuple selected but %q is not in the GROUPBY key", n)
+					}
+				}
+				continue
+			}
+			if isKeyName(e.Name) {
+				continue // already in schema
+			}
+			fd, ok := c.Folds[e.Name]
+			if !ok {
+				if strings.EqualFold(e.Name, AggCount) {
+					cq.Folds = append(cq.Folds, FoldUse{Name: AggCount, Alias: col.Alias, Pos: e.Pos})
+					cq.Schema = append(cq.Schema, aggColumn(AggCount, nil, col.Alias))
+					continue
+				}
+				return nil, errf(e.Pos, "%q is not a GROUPBY key, a fold, or COUNT", e.Name)
+			}
+			if err := c.bindFoldParams(cq.Input, fd, e.Pos); err != nil {
+				return nil, err
+			}
+			cq.Folds = append(cq.Folds, FoldUse{Name: fd.Name, Decl: fd, Alias: col.Alias, Pos: e.Pos})
+			cq.Schema = append(cq.Schema, userFoldColumns(fd, col.Alias)...)
+		case *CallExpr:
+			if !IsAggregate(e.Name) {
+				return nil, errf(e.Pos, "%q is not an aggregate (COUNT, SUM, MAX, MIN, AVG, EWMA)", e.Name)
+			}
+			agg := strings.ToLower(e.Name)
+			if err := c.checkAggArgs(cq.Input, agg, e); err != nil {
+				return nil, err
+			}
+			cq.Folds = append(cq.Folds, FoldUse{Name: agg, Args: e.Args, Alias: col.Alias, Pos: e.Pos})
+			cq.Schema = append(cq.Schema, aggColumn(agg, e, col.Alias))
+		default:
+			return nil, errf(col.Expr.exprPos(), "GROUPBY select columns must be key fields or aggregations")
+		}
+	}
+
+	if len(cq.Folds) == 0 {
+		// Pure GROUPBY with no aggregation = DISTINCT over the key (the
+		// paper's "SELECT 5tuple FROM R1 GROUPBY 5tuple").
+		return cq, nil
+	}
+	return cq, nil
+}
+
+// checkAggArgs validates builtin aggregate arguments.
+func (c *Checked) checkAggArgs(input *CheckedQuery, agg string, e *CallExpr) error {
+	switch agg {
+	case AggCount:
+		if len(e.Args) != 0 {
+			return errf(e.Pos, "COUNT takes no arguments")
+		}
+		return nil
+	case AggSum, AggMax, AggMin, AggAvg:
+		if len(e.Args) != 1 {
+			return errf(e.Pos, "%s takes one argument", strings.ToUpper(agg))
+		}
+	case AggEwma:
+		if len(e.Args) != 2 {
+			return errf(e.Pos, "EWMA takes (expr, alpha)")
+		}
+		alpha, err := c.evalConst(e.Args[1])
+		if err != nil {
+			return errf(e.Args[1].exprPos(), "EWMA alpha must be a constant")
+		}
+		if alpha <= 0 || alpha >= 1 {
+			return errf(e.Args[1].exprPos(), "EWMA alpha must be in (0, 1), got %g", alpha)
+		}
+	}
+	at, err := c.exprType(input, e.Args[0])
+	if err != nil {
+		return err
+	}
+	if at != tyNum {
+		return errf(e.Args[0].exprPos(), "%s needs a numeric argument", strings.ToUpper(agg))
+	}
+	return nil
+}
+
+// aggColumn builds the output column for a builtin aggregate.
+func aggColumn(agg string, e *CallExpr, alias string) Column {
+	name := agg
+	var aliases []string
+	if e != nil && len(e.Args) > 0 {
+		name = canonicalCall(e)
+		aliases = append(aliases, agg)
+	} else if agg == AggCount {
+		name = AggCount
+		aliases = append(aliases, "count()")
+	}
+	if alias != "" {
+		aliases = append(aliases, name)
+		name = alias
+	}
+	return Column{Name: name, Aliases: aliases}
+}
+
+// userFoldColumns builds the output columns of a user fold: one per state
+// variable, named by the variable, aliased by fold.var (and by the fold
+// name itself for single-variable folds).
+func userFoldColumns(fd *FoldDecl, alias string) []Column {
+	cols := make([]Column, len(fd.StateParams))
+	for i, sv := range fd.StateParams {
+		cols[i] = Column{
+			Name:    sv,
+			Aliases: []string{fd.Name + "." + sv},
+		}
+		if len(fd.StateParams) == 1 {
+			cols[i].Aliases = append(cols[i].Aliases, fd.Name)
+			if alias != "" {
+				cols[i].Aliases = append(cols[i].Aliases, cols[i].Name)
+				cols[i].Name = alias
+			}
+		}
+	}
+	return cols
+}
+
+// bindFoldParams verifies a user fold's row parameters resolve over the
+// query's input.
+func (c *Checked) bindFoldParams(input *CheckedQuery, fd *FoldDecl, pos Pos) error {
+	for _, p := range fd.RowParams {
+		if err := c.resolveName(input, p, pos); err != nil {
+			return errf(pos, "fold %s parameter %q: %v", fd.Name, p, err)
+		}
+	}
+	return nil
+}
+
+// checkJoin validates the restricted equi-join.
+func (c *Checked) checkJoin(qd *QueryDecl, q *JoinQuery, name string, consumed map[string]bool) (*CheckedQuery, error) {
+	left, err := c.resolveInput(q.Left, q.Pos, consumed)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.resolveInput(q.Right, q.Pos, consumed)
+	if err != nil {
+		return nil, err
+	}
+	if left == nil || right == nil {
+		return nil, errf(q.Pos, "JOIN requires two named query results (T cannot be joined: per-packet joins are O(#pkts²))")
+	}
+	if !left.IsGroup || !right.IsGroup {
+		return nil, errf(q.Pos, "JOIN sides must be GROUPBY results so the ON key uniquely identifies records")
+	}
+
+	// Expand the ON list and require it to equal both sides' keys.
+	var onNames []string
+	for _, item := range q.On {
+		switch item := item.(type) {
+		case *Ident:
+			if item.Name == "5tuple" {
+				onNames = append(onNames, fiveTupleNames...)
+				continue
+			}
+			onNames = append(onNames, item.Name)
+		default:
+			return nil, errf(item.exprPos(), "ON items must be field names")
+		}
+	}
+	checkKeys := func(side *CheckedQuery, label string) error {
+		var keys []string
+		for i := range side.Schema {
+			if side.Schema[i].IsKey {
+				keys = append(keys, side.Schema[i].Name)
+			}
+		}
+		if len(keys) != len(onNames) {
+			return errf(q.Pos, "%s side %s is keyed by (%s) but ON lists (%s); the compiler can only join on the full GROUPBY key",
+				label, side.Name, strings.Join(keys, ", "), strings.Join(onNames, ", "))
+		}
+		for i := range keys {
+			if !strings.EqualFold(keys[i], onNames[i]) {
+				return errf(q.Pos, "%s side %s key %q does not match ON key %q", label, side.Name, keys[i], onNames[i])
+			}
+		}
+		return nil
+	}
+	if err := checkKeys(left, "left"); err != nil {
+		return nil, err
+	}
+	if err := checkKeys(right, "right"); err != nil {
+		return nil, err
+	}
+
+	cq := &CheckedQuery{Decl: qd, Name: name, Left: left, Right: right, OnCols: len(onNames)}
+
+	// Output schema: the shared key columns, then the select columns.
+	for i := 0; i < len(onNames); i++ {
+		col := left.Schema[i]
+		cq.Schema = append(cq.Schema, col)
+	}
+	for _, col := range q.Cols {
+		t, err := c.joinExprType(left, right, col.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if t != tyNum {
+			return nil, errf(col.Expr.exprPos(), "join select columns must be numeric")
+		}
+		name := col.Alias
+		if name == "" {
+			name = col.Expr.String()
+		}
+		cq.Schema = append(cq.Schema, Column{Name: name, Aliases: []string{col.Expr.String()}})
+		cq.SelectedCols = append(cq.SelectedCols, col)
+	}
+
+	if q.Where != nil {
+		wt, err := c.joinExprType(left, right, q.Where)
+		if err != nil {
+			return nil, err
+		}
+		if wt != tyBool {
+			return nil, errf(q.Where.exprPos(), "WHERE needs a boolean predicate")
+		}
+		cq.Where = q.Where
+	}
+	return cq, nil
+}
+
+// joinExprType types an expression over the joined row, where dotted
+// references name a side's column and bare identifiers must resolve
+// unambiguously.
+func (c *Checked) joinExprType(left, right *CheckedQuery, e Expr) (ty, error) {
+	switch e := e.(type) {
+	case *NumberLit, *InfinityLit:
+		return tyNum, nil
+	case *BoolLit:
+		return tyBool, nil
+	case *Dotted:
+		side, err := joinSide(left, right, e.Base, e.Pos)
+		if err != nil {
+			return 0, err
+		}
+		if columnIndex(side.Schema, e.Col) < 0 {
+			return 0, errf(e.Pos, "%q is not a column of %s (columns: %s)", e.Col, side.Name, schemaNames(side.Schema))
+		}
+		return tyNum, nil
+	case *Ident:
+		if _, ok := c.Consts[e.Name]; ok {
+			return tyNum, nil
+		}
+		inLeft := columnIndex(left.Schema, e.Name) >= 0
+		inRight := columnIndex(right.Schema, e.Name) >= 0
+		switch {
+		case inLeft && inRight:
+			// Key columns are shared; value columns must be qualified.
+			if idx := columnIndex(left.Schema, e.Name); left.Schema[idx].IsKey {
+				return tyNum, nil
+			}
+			return 0, errf(e.Pos, "%q is ambiguous; qualify it as %s.%s or %s.%s",
+				e.Name, left.Name, e.Name, right.Name, e.Name)
+		case inLeft, inRight:
+			return tyNum, nil
+		default:
+			return 0, errf(e.Pos, "%q is not a column of %s or %s", e.Name, left.Name, right.Name)
+		}
+	case *UnaryExpr:
+		xt, err := c.joinExprType(left, right, e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == KwNot {
+			if xt != tyBool {
+				return 0, errf(e.Pos, "NOT needs a boolean operand")
+			}
+			return tyBool, nil
+		}
+		return tyNum, nil
+	case *BinExpr:
+		lt, err := c.joinExprType(left, right, e.L)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := c.joinExprType(left, right, e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case PLUS, MINUS, STAR, SLASH:
+			if lt != tyNum || rt != tyNum {
+				return 0, errf(e.Pos, "arithmetic needs numeric operands")
+			}
+			return tyNum, nil
+		case EQ, NE, LT, LE, GT, GE:
+			return tyBool, nil
+		case KwAnd, KwOr:
+			if lt != tyBool || rt != tyBool {
+				return 0, errf(e.Pos, "%s needs boolean operands", opText(e.Op))
+			}
+			return tyBool, nil
+		}
+		return 0, errf(e.Pos, "unknown operator")
+	case *CallExpr:
+		// A canonical aggregate-column reference on either side.
+		name := canonicalCall(e)
+		if columnIndex(left.Schema, name) >= 0 || columnIndex(right.Schema, name) >= 0 {
+			return 0, errf(e.Pos, "%q is ambiguous in a join; qualify it (e.g. %s.%s)", name, left.Name, shortAgg(e))
+		}
+		return 0, errf(e.Pos, "unknown function %q in join", e.Name)
+	default:
+		return 0, errf(e.exprPos(), "unsupported expression in join")
+	}
+}
+
+func shortAgg(e *CallExpr) string { return strings.ToLower(e.Name) }
+
+// joinSide resolves a dotted base to the left or right input.
+func joinSide(left, right *CheckedQuery, base string, pos Pos) (*CheckedQuery, error) {
+	switch {
+	case strings.EqualFold(base, left.Name):
+		return left, nil
+	case strings.EqualFold(base, right.Name):
+		return right, nil
+	default:
+		return nil, errf(pos, "%q is not a join input (%s or %s)", base, left.Name, right.Name)
+	}
+}

@@ -1,0 +1,17 @@
+package lang
+
+// ColumnIndex resolves a name (or alias) in a schema; -1 if absent. It is
+// the resolution rule the checker itself uses, exported for the compiler.
+func ColumnIndex(schema []Column, name string) int { return columnIndex(schema, name) }
+
+// EvalConstExpr folds a constant expression using the checked program's
+// constants (compile-time parameters like EWMA's alpha).
+func (c *Checked) EvalConstExpr(e Expr) (float64, error) { return c.evalConst(e) }
+
+// CanonicalCall renders an aggregate call in its canonical column-name
+// form ("sum((tout - tin))"), the spelling under which aggregate results
+// are addressable downstream.
+func CanonicalCall(e *CallExpr) string { return canonicalCall(e) }
+
+// FiveTupleNames is the expansion of the 5tuple shorthand.
+func FiveTupleNames() []string { return append([]string(nil), fiveTupleNames...) }

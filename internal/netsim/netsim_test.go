@@ -1,0 +1,215 @@
+package netsim
+
+import (
+	"testing"
+
+	"perfq/internal/packet"
+	"perfq/internal/topo"
+	"perfq/internal/trace"
+)
+
+func TestChainEndToEnd(t *testing.T) {
+	tp := topo.Chain(2, topo.Options{})
+	sim := New(tp, 1)
+	hosts := tp.Hosts()
+	if err := sim.AddFlow(Spec{Src: hosts[0], Dst: hosts[1], Packets: 10, GapNs: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 packets × 3 queues (host NIC + 2 switches) on the forward path.
+	if len(recs) != 30 {
+		t.Fatalf("got %d records, want 30", len(recs))
+	}
+	// Per-packet records share PktUniq and advance in time across hops.
+	byPkt := map[uint64][]trace.Record{}
+	for _, r := range recs {
+		byPkt[r.PktUniq] = append(byPkt[r.PktUniq], r)
+	}
+	if len(byPkt) != 10 {
+		t.Fatalf("%d unique packets, want 10", len(byPkt))
+	}
+	for id, hops := range byPkt {
+		if len(hops) != 3 {
+			t.Fatalf("packet %d has %d hops", id, len(hops))
+		}
+		for i := 1; i < len(hops); i++ {
+			if hops[i].Tin <= hops[i-1].Tin {
+				t.Errorf("packet %d: hop %d tin %d not after hop %d tin %d",
+					id, i, hops[i].Tin, i-1, hops[i-1].Tin)
+			}
+			if hops[i].Path != hops[i-1].Path+1 {
+				t.Errorf("packet %d: path fields %d,%d", id, hops[i-1].Path, hops[i].Path)
+			}
+		}
+	}
+	// Trace is globally time ordered.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Tin < recs[i-1].Tin {
+			t.Fatal("records not time ordered")
+		}
+	}
+}
+
+func TestIncastCongestsReceiverQueue(t *testing.T) {
+	tp := topo.LeafSpine(2, 2, 8, topo.Options{BufBytes: 64 << 10})
+	sim := New(tp, 2)
+	receiver := tp.Hosts()[0]
+	if err := sim.Incast(receiver, 10, 60, 0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+
+	// The receiver's leaf downlink queue must dominate drops and depth.
+	var worst trace.QueueID
+	drops := map[trace.QueueID]int{}
+	var maxDepth uint32
+	for _, r := range recs {
+		if r.Dropped() {
+			drops[r.QID]++
+		}
+		if r.QSizeIn > maxDepth {
+			maxDepth = r.QSizeIn
+			worst = r.QID
+		}
+	}
+	if len(drops) == 0 {
+		t.Fatal("incast produced no drops; buffer too large for the burst")
+	}
+	// The deepest queue must be on a leaf switch (id 1 or 2), not a host
+	// NIC (switch 0) — that is the localization the query targets.
+	if worst.Switch() == 0 {
+		t.Errorf("deepest queue is a host NIC (%v), expected a switch queue", worst)
+	}
+	var dropQ trace.QueueID
+	maxDrops := 0
+	for q, n := range drops {
+		if n > maxDrops {
+			maxDrops, dropQ = n, q
+		}
+	}
+	if dropQ != worst {
+		t.Logf("note: deepest queue %v differs from top drop queue %v", worst, dropQ)
+	}
+}
+
+func TestECMPRoutesAreFlowStable(t *testing.T) {
+	tp := topo.LeafSpine(4, 4, 4, topo.Options{})
+	hosts := tp.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	ft := packet.FiveTuple{Src: tp.HostAddr(src), Dst: tp.HostAddr(dst), SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP}
+	p1, err := tp.Route(src, dst, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := tp.Route(src, dst, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatal("same flow routed differently")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same flow routed differently")
+		}
+	}
+	// Host → leaf → spine → leaf → host = 4 links.
+	if len(p1) != 4 {
+		t.Errorf("path length %d, want 4", len(p1))
+	}
+
+	// Different flows spread across spines.
+	spines := map[int]bool{}
+	for port := 0; port < 64; port++ {
+		f := ft
+		f.SrcPort = uint16(1000 + port)
+		p, err := tp.Route(src, dst, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spines[p[1]] = true // the leaf→spine link identifies the spine
+	}
+	if len(spines) < 2 {
+		t.Errorf("ECMP used %d spine links out of 4", len(spines))
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	tp := topo.Chain(1, topo.Options{})
+	hosts := tp.Hosts()
+	if _, err := tp.Route(hosts[0], hosts[0], packet.FiveTuple{}); err == nil {
+		t.Error("src==dst accepted")
+	}
+}
+
+func TestUniformRandomWorkload(t *testing.T) {
+	tp := topo.LeafSpine(2, 2, 4, topo.Options{})
+	sim := New(tp, 3)
+	if err := sim.UniformRandom(20, 5, 15, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := map[packet.FiveTuple]bool{}
+	for _, r := range recs {
+		flows[r.FlowKey()] = true
+	}
+	if len(flows) != 20 {
+		t.Errorf("%d unique flows, want 20", len(flows))
+	}
+	// Determinism.
+	sim2 := New(tp, 3)
+	if err := sim2.UniformRandom(20, 5, 15, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	recs2, _ := sim2.Run()
+	if len(recs) != len(recs2) {
+		t.Fatalf("non-deterministic: %d vs %d records", len(recs), len(recs2))
+	}
+	for i := range recs {
+		if recs[i] != recs2[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestDroppedPacketsStopAtDropHop(t *testing.T) {
+	// A tiny buffer forces drops at the first switch queue.
+	tp := topo.Chain(2, topo.Options{BufBytes: 3000})
+	sim := New(tp, 4)
+	hosts := tp.Hosts()
+	if err := sim.AddFlow(Spec{Src: hosts[0], Dst: hosts[1], Packets: 50, GapNs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := map[uint64]int{}
+	dropped := map[uint64]bool{}
+	for _, r := range recs {
+		hops[r.PktUniq]++
+		if r.Dropped() {
+			dropped[r.PktUniq] = true
+		}
+	}
+	if len(dropped) == 0 {
+		t.Fatal("no drops with a 3000B buffer and back-to-back packets")
+	}
+	for id := range dropped {
+		if hops[id] == 3 {
+			t.Errorf("dropped packet %d still traversed all hops", id)
+		}
+	}
+}

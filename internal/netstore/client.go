@@ -1,0 +1,266 @@
+package netstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+	"perfq/internal/packet"
+)
+
+// Client is a connection to a netstore server. It is not safe for
+// concurrent use; the switch datapath is single-threaded per pipeline,
+// which is the intended caller.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	f    *fold.Func
+	m    int
+	buf  []byte
+
+	evictions uint64
+	reconnect func() (net.Conn, error)
+	addr      string
+}
+
+// Dial connects and performs the HELLO handshake for the given fold.
+func Dial(addr string, f *fold.Func) (*Client, error) {
+	c := &Client{
+		f: f, m: f.StateLen(), addr: addr,
+		reconnect: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		},
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect (re)establishes the connection and handshakes.
+func (c *Client) connect() error {
+	conn, err := c.reconnect()
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 1<<16)
+	c.bw = bufio.NewWriterSize(conn, 1<<16)
+
+	payload := make([]byte, 12)
+	binary.LittleEndian.PutUint32(payload[0:4], Magic)
+	binary.LittleEndian.PutUint32(payload[4:8], Version)
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(c.m))
+	if err := c.writeFrame(opHello, payload); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	status, _, err := c.readResponse()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if status != StatusOK {
+		conn.Close()
+		return fmt.Errorf("netstore: handshake rejected (status %d)", status)
+	}
+	return nil
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	c.bw.Flush()
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Evictions returns how many evictions this client has shipped.
+func (c *Client) Evictions() uint64 { return c.evictions }
+
+func (c *Client) writeFrame(op byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = op
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.bw.Write(payload)
+	return err
+}
+
+func (c *Client) readResponse() (status byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, ErrTooLarge
+	}
+	body := make([]byte, n-1)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], body, nil
+}
+
+// HandleEviction ships a cache eviction to the server (fire-and-forget;
+// buffered). It matches the kvstore OnEvict callback shape and retries
+// once through a reconnect on a broken pipe.
+func (c *Client) HandleEviction(ev *kvstore.Eviction) error {
+	c.buf = c.buf[:0]
+	payload, op, err := encodeEviction(c.buf, c.m, ev.Key, ev.State, ev.P, ev.FirstRec, c.f.Merge)
+	if err != nil {
+		return err
+	}
+	c.buf = payload
+	if err := c.writeFrame(op, payload); err == nil {
+		c.evictions++
+		return nil
+	}
+	// Broken connection: reconnect and retry once. Evictions buffered in
+	// the dead connection are lost — the same data-loss window a real
+	// switch-to-collector channel has; the paper's validity semantics
+	// already tolerate missing epochs.
+	if err := c.reconnectAndRetry(op, payload); err != nil {
+		return err
+	}
+	c.evictions++
+	return nil
+}
+
+func (c *Client) reconnectAndRetry(op byte, payload []byte) error {
+	c.conn.Close()
+	if err := c.connect(); err != nil {
+		return fmt.Errorf("netstore: reconnect failed: %w", err)
+	}
+	return c.writeFrame(op, payload)
+}
+
+// Sync flushes buffered evictions and blocks until the server has applied
+// everything sent so far. Because evictions are buffered, a connection
+// that died since the last Sync surfaces here; Sync then reconnects and
+// retries once (evictions buffered in the dead connection are lost, the
+// usual telemetry-channel semantics).
+func (c *Client) Sync() error {
+	err := c.trySync()
+	if err == nil {
+		return nil
+	}
+	c.conn.Close()
+	if cerr := c.connect(); cerr != nil {
+		return fmt.Errorf("netstore: reconnect after %v failed: %w", err, cerr)
+	}
+	return c.trySync()
+}
+
+func (c *Client) trySync() error {
+	if err := c.writeFrame(opSync, nil); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	status, _, err := c.readResponse()
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("netstore: sync failed (status %d)", status)
+	}
+	return nil
+}
+
+// Get fetches a key's merged value. found is false for both absent and
+// invalid (multi-epoch) keys; invalid distinguishes the latter.
+func (c *Client) Get(key packet.Key128) (state []float64, found, invalid bool, err error) {
+	if err := c.writeFrame(opGet, key[:]); err != nil {
+		return nil, false, false, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, false, false, err
+	}
+	status, payload, err := c.readResponse()
+	if err != nil {
+		return nil, false, false, err
+	}
+	switch status {
+	case StatusOK:
+		state = make([]float64, c.m)
+		if _, err := getFloats(payload, state); err != nil {
+			return nil, false, false, err
+		}
+		return state, true, false, nil
+	case StatusInvalid:
+		return nil, false, true, nil
+	case StatusNotFound:
+		return nil, false, false, nil
+	default:
+		return nil, false, false, fmt.Errorf("netstore: get failed (status %d)", status)
+	}
+}
+
+// Stats describes the server-side store.
+type Stats struct {
+	Keys    uint64
+	Merges  uint64
+	Appends uint64
+	Valid   uint64
+	Total   uint64
+}
+
+// Stats queries server counters.
+func (c *Client) Stats() (Stats, error) {
+	if err := c.writeFrame(opStats, nil); err != nil {
+		return Stats{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Stats{}, err
+	}
+	status, payload, err := c.readResponse()
+	if err != nil {
+		return Stats{}, err
+	}
+	if status != StatusOK || len(payload) != 40 {
+		return Stats{}, fmt.Errorf("netstore: stats failed (status %d)", status)
+	}
+	return Stats{
+		Keys:    binary.LittleEndian.Uint64(payload[0:8]),
+		Merges:  binary.LittleEndian.Uint64(payload[8:16]),
+		Appends: binary.LittleEndian.Uint64(payload[16:24]),
+		Valid:   binary.LittleEndian.Uint64(payload[24:32]),
+		Total:   binary.LittleEndian.Uint64(payload[32:40]),
+	}, nil
+}
+
+// Reset drops all keys server-side.
+func (c *Client) Reset() error {
+	if err := c.writeFrame(opReset, nil); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	status, _, err := c.readResponse()
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("netstore: reset failed (status %d)", status)
+	}
+	return nil
+}

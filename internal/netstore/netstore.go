@@ -1,0 +1,138 @@
+// Package netstore is the scale-out backing store of §3.2: the off-switch
+// key-value service that absorbs cache evictions, playing the role the
+// paper assigns to Memcached/Redis-class stores ("a few hundred thousand
+// operations per second per core"). It speaks a compact length-prefixed
+// binary protocol over TCP.
+//
+// Evictions are fire-and-forget — the client streams frames and TCP
+// ordering guarantees the server applies them in sequence — so eviction
+// throughput is bounded by framing cost, not round trips. GET, STATS and
+// SYNC are request/response. A SYNC drains everything in flight, which is
+// how flush-at-window-end is made durable before results are read.
+package netstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"perfq/internal/fold"
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+// Protocol constants.
+const (
+	Magic   = 0x50514b56 // "PQKV"
+	Version = 1
+
+	// Ops.
+	opHello   = 1 // client → server: magic, version, state length m
+	opMerge   = 2 // eviction with linear merge payload: state, P, first record
+	opAppend  = 3 // eviction without merge payload: state (epoch semantics)
+	opCombine = 4 // eviction for associative folds: state
+	opGet     = 5 // key lookup → status, state
+	opSync    = 6 // barrier: ack after all prior ops applied
+	opStats   = 7 // → keys, merges, appends
+	opReset   = 8 // drop all keys
+
+	// Response status codes.
+	StatusOK       = 0
+	StatusNotFound = 1
+	StatusInvalid  = 2 // key present but multi-epoch (not valid)
+	StatusErr      = 0xff
+)
+
+// Protocol errors.
+var (
+	ErrBadFrame   = errors.New("netstore: malformed frame")
+	ErrBadVersion = errors.New("netstore: protocol version mismatch")
+	ErrStateLen   = errors.New("netstore: state length mismatch")
+	ErrTooLarge   = errors.New("netstore: frame exceeds limit")
+)
+
+// maxFrame bounds a frame (16B key + 8·(m + m² ) + record ≪ 4 KiB).
+const maxFrame = 4096
+
+// putFloats appends IEEE-754 little-endian float64s.
+func putFloats(b []byte, vals []float64) []byte {
+	for _, v := range vals {
+		var u [8]byte
+		binary.LittleEndian.PutUint64(u[:], math.Float64bits(v))
+		b = append(b, u[:]...)
+	}
+	return b
+}
+
+// getFloats decodes n float64s from b, returning the remainder.
+func getFloats(b []byte, dst []float64) ([]byte, error) {
+	need := len(dst) * 8
+	if len(b) < need {
+		return nil, ErrBadFrame
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return b[need:], nil
+}
+
+// evictionPayload is the wire form of a cache eviction.
+type evictionPayload struct {
+	key   packet.Key128
+	state []float64
+	p     []float64
+	rec   *trace.Record
+}
+
+// encodeEviction frames an eviction according to the fold's merge class.
+func encodeEviction(buf []byte, m int, key packet.Key128, state, p []float64, rec *trace.Record, mergeKind fold.MergeKind) ([]byte, byte, error) {
+	var op byte
+	switch {
+	case mergeKind == fold.MergeLinear && p != nil && rec != nil:
+		op = opMerge
+	case mergeKind == fold.MergeAssoc:
+		op = opCombine
+	default:
+		op = opAppend
+	}
+	buf = append(buf, key[:]...)
+	buf = putFloats(buf, state[:m])
+	if op == opMerge {
+		buf = putFloats(buf, p[:m*m])
+		var rb [trace.RecordSize]byte
+		trace.MarshalRecord(rb[:], rec)
+		buf = append(buf, rb[:]...)
+	}
+	return buf, op, nil
+}
+
+// decodeEviction parses an eviction frame body.
+func decodeEviction(op byte, body []byte, m int) (*evictionPayload, error) {
+	ev := &evictionPayload{state: make([]float64, m)}
+	if len(body) < 16 {
+		return nil, ErrBadFrame
+	}
+	copy(ev.key[:], body[:16])
+	body = body[16:]
+	var err error
+	if body, err = getFloats(body, ev.state); err != nil {
+		return nil, err
+	}
+	if op == opMerge {
+		ev.p = make([]float64, m*m)
+		if body, err = getFloats(body, ev.p); err != nil {
+			return nil, err
+		}
+		if len(body) < trace.RecordSize {
+			return nil, ErrBadFrame
+		}
+		ev.rec = new(trace.Record)
+		trace.UnmarshalRecord(body[:trace.RecordSize], ev.rec)
+		body = body[trace.RecordSize:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(body))
+	}
+	return ev, nil
+}

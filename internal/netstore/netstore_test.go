@@ -1,0 +1,239 @@
+package netstore
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+func lat() fold.Expr {
+	return fold.Bin{Op: fold.OpSub, L: fold.FieldRef(trace.FieldTout), R: fold.FieldRef(trace.FieldTin)}
+}
+
+func keyN(n int) packet.Key128 {
+	return packet.FiveTuple{
+		Src: packet.Addr4FromUint32(uint32(n)), Dst: packet.Addr4{1, 1, 1, 1},
+		SrcPort: uint16(n), DstPort: 80, Proto: packet.ProtoTCP,
+	}.Pack()
+}
+
+func startServer(t *testing.T, f *fold.Func) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(srv.Addr(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+// TestRemoteMergeMatchesLocal drives the same eviction stream into a local
+// backing store and a remote one; results must agree exactly.
+func TestRemoteMergeMatchesLocal(t *testing.T) {
+	f := fold.Ewma(lat(), 0.25)
+	srv, cl := startServer(t, f)
+
+	// Build evictions through a real cache so P and first-record payloads
+	// are genuine.
+	rng := rand.New(rand.NewSource(41))
+	local := make(map[packet.Key128]float64)
+	cache, err := kvstore.New(kvstore.Config{
+		Geometry:   kvstore.HashTable(16),
+		Fold:       f,
+		ExactMerge: true,
+		OnEvict: func(ev *kvstore.Eviction) {
+			if err := cl.HandleEviction(ev); err != nil {
+				t.Fatalf("remote eviction: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truth := map[packet.Key128][]float64{}
+	for i := 0; i < 5000; i++ {
+		k := keyN(rng.Intn(200))
+		tin := rng.Int63n(1 << 30)
+		rec := &trace.Record{Tin: tin, Tout: tin + rng.Int63n(1000) + 1}
+		st := truth[k]
+		if st == nil {
+			st = f.Prog.InitState()
+			truth[k] = st
+		}
+		f.Update(st, &fold.Input{Rec: rec})
+		cache.Process(k, &fold.Input{Rec: rec})
+	}
+	cache.Flush()
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	for k, want := range truth {
+		state, found, invalid, err := cl.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || invalid {
+			t.Fatalf("key %v: found=%v invalid=%v", k, found, invalid)
+		}
+		if math.Abs(state[0]-want[0]) > 1e-9*math.Max(1, math.Abs(want[0])) {
+			t.Fatalf("key %v: remote %v, truth %v", k, state[0], want[0])
+		}
+	}
+	_ = local
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys != uint64(len(truth)) {
+		t.Errorf("server keys = %d, want %d", st.Keys, len(truth))
+	}
+	if st.Merges == 0 {
+		t.Error("no merges recorded")
+	}
+	if got := srv.Store().Len(); got != len(truth) {
+		t.Errorf("in-process view: %d keys", got)
+	}
+}
+
+func TestGetAbsentAndInvalid(t *testing.T) {
+	// A fold with no merge class: epoch semantics.
+	f := &fold.Func{Prog: &fold.Program{
+		Name: "last", NumState: 1,
+		Body: []fold.Stmt{fold.Assign{Dst: 0, RHS: fold.FieldRef(trace.FieldPktLen)}},
+	}}
+	_, cl := startServer(t, f)
+
+	if _, found, invalid, err := cl.Get(keyN(1)); err != nil || found || invalid {
+		t.Fatalf("absent key: %v %v %v", found, invalid, err)
+	}
+	ev := &kvstore.Eviction{Key: keyN(1), State: []float64{42}}
+	if err := cl.HandleEviction(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if state, found, _, _ := cl.Get(keyN(1)); !found || state[0] != 42 {
+		t.Fatalf("single epoch: %v %v", state, found)
+	}
+	// Second epoch invalidates.
+	cl.HandleEviction(&kvstore.Eviction{Key: keyN(1), State: []float64{43}})
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, invalid, _ := cl.Get(keyN(1)); found || !invalid {
+		t.Fatalf("multi-epoch key: found=%v invalid=%v", found, invalid)
+	}
+	st, _ := cl.Stats()
+	if st.Valid != 0 || st.Total != 1 {
+		t.Errorf("accuracy stats: %d/%d", st.Valid, st.Total)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := fold.Count()
+	_, cl := startServer(t, f)
+	cl.HandleEviction(&kvstore.Eviction{Key: keyN(1), State: []float64{1}})
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cl.Stats()
+	if st.Keys != 0 {
+		t.Errorf("keys after reset = %d", st.Keys)
+	}
+}
+
+func TestHandshakeRejectsWrongStateLen(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", fold.Count()) // m = 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = Dial(srv.Addr(), fold.Avg(lat())) // m = 2
+	if err == nil {
+		t.Fatal("mismatched state length accepted")
+	}
+}
+
+func TestMalformedFramesClose(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", fold.Count())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cases := [][]byte{
+		{0xff, 0xff, 0xff, 0xff, 0x01},       // absurd length
+		{0x01, 0x00, 0x00, 0x00, 0x63},       // unknown op before hello
+		{0x05, 0x00, 0x00, 0x00, 0x01, 1, 2}, // truncated hello body
+	}
+	for i, frame := range cases {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(frame)
+		buf := make([]byte, 16)
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		// The server must close the connection (read returns error/EOF)
+		// rather than hang or crash.
+		if _, err := conn.Read(buf); err == nil {
+			// A response is acceptable only if it is an error status.
+			if len(buf) >= 5 && buf[4] == StatusOK {
+				t.Errorf("case %d: malformed frame acknowledged OK", i)
+			}
+		}
+		conn.Close()
+	}
+}
+
+func TestClientReconnect(t *testing.T) {
+	f := fold.Count()
+	srv, cl := startServer(t, f)
+	cl.HandleEviction(&kvstore.Eviction{Key: keyN(1), State: []float64{1}})
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the connection under the client.
+	cl.conn.Close()
+	// Next eviction triggers reconnect (possibly after one failed write).
+	var lastErr error
+	for i := 0; i < 3; i++ {
+		lastErr = cl.HandleEviction(&kvstore.Eviction{Key: keyN(2), State: []float64{1}})
+		if lastErr == nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		t.Fatalf("reconnect failed: %v", lastErr)
+	}
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys < 1 {
+		t.Errorf("server lost all state: %+v", st)
+	}
+	_ = srv
+}

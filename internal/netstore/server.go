@@ -1,0 +1,236 @@
+package netstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"perfq/internal/backing"
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+)
+
+// Server hosts a backing store for one query's fold over TCP.
+type Server struct {
+	f  *fold.Func
+	ln net.Listener
+
+	mu    sync.Mutex
+	store *backing.Store
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	logf   func(format string, args ...interface{})
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and serves the fold's
+// backing store. Use Addr to discover the bound address.
+func NewServer(addr string, f *fold.Func) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		f:      f,
+		ln:     ln,
+		store:  backing.New(f),
+		closed: make(chan struct{}),
+		logf:   func(string, ...interface{}) {},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetLogf installs a diagnostic logger (default: silent).
+func (s *Server) SetLogf(f func(format string, args ...interface{})) {
+	if f == nil {
+		f = func(string, ...interface{}) {}
+	}
+	s.logf = f
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Store exposes the underlying store for in-process inspection (tests and
+// the collector when co-located).
+func (s *Server) Store() *backing.Store { return s.store }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("netstore: accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.serve(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("netstore: conn %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// serve handles one connection.
+func (s *Server) serve(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	m := s.f.StateLen()
+
+	var hdr [5]byte
+	frame := make([]byte, 0, maxFrame)
+	respond := func(status byte, payload []byte) error {
+		var rh [5]byte
+		binary.LittleEndian.PutUint32(rh[:4], uint32(1+len(payload)))
+		rh[4] = status
+		if _, err := bw.Write(rh[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	helloSeen := false
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("%w: truncated header", ErrBadFrame)
+			}
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		op := hdr[4]
+		if n < 1 || n > maxFrame {
+			return fmt.Errorf("%w: length %d", ErrTooLarge, n)
+		}
+		frame = frame[:n-1]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return fmt.Errorf("%w: truncated body", ErrBadFrame)
+		}
+
+		if !helloSeen && op != opHello {
+			return fmt.Errorf("%w: first frame must be HELLO", ErrBadFrame)
+		}
+
+		switch op {
+		case opHello:
+			if len(frame) != 12 {
+				return ErrBadFrame
+			}
+			if binary.LittleEndian.Uint32(frame[0:4]) != Magic {
+				return ErrBadFrame
+			}
+			if binary.LittleEndian.Uint32(frame[4:8]) != Version {
+				respond(StatusErr, nil)
+				return ErrBadVersion
+			}
+			if int(binary.LittleEndian.Uint32(frame[8:12])) != m {
+				respond(StatusErr, nil)
+				return fmt.Errorf("%w: client %d, server %d",
+					ErrStateLen, binary.LittleEndian.Uint32(frame[8:12]), m)
+			}
+			helloSeen = true
+			if err := respond(StatusOK, nil); err != nil {
+				return err
+			}
+
+		case opMerge, opAppend, opCombine:
+			ev, err := decodeEviction(op, frame, m)
+			if err != nil {
+				return err
+			}
+			kev := kvstore.Eviction{Key: ev.key, State: ev.state, P: ev.p}
+			if ev.rec != nil {
+				kev.FirstRec = ev.rec
+			}
+			s.mu.Lock()
+			s.store.HandleEviction(&kev)
+			s.mu.Unlock()
+			// Fire-and-forget: no response.
+
+		case opGet:
+			if len(frame) != 16 {
+				return ErrBadFrame
+			}
+			var key [16]byte
+			copy(key[:], frame)
+			s.mu.Lock()
+			state, ok := s.store.Get(key)
+			var valid bool
+			if !ok {
+				valid = s.store.Len() > 0 // distinguish below
+			}
+			var payload []byte
+			status := byte(StatusNotFound)
+			if ok {
+				status = StatusOK
+				payload = putFloats(nil, state)
+			} else if len(s.store.Epochs(key)) > 1 {
+				status = StatusInvalid
+			}
+			s.mu.Unlock()
+			_ = valid
+			if err := respond(status, payload); err != nil {
+				return err
+			}
+
+		case opSync:
+			if err := respond(StatusOK, nil); err != nil {
+				return err
+			}
+
+		case opStats:
+			s.mu.Lock()
+			st := s.store.Stats()
+			valid, total := s.store.Accuracy()
+			s.mu.Unlock()
+			payload := make([]byte, 40)
+			binary.LittleEndian.PutUint64(payload[0:8], uint64(st.Keys))
+			binary.LittleEndian.PutUint64(payload[8:16], st.Merges)
+			binary.LittleEndian.PutUint64(payload[16:24], st.Appends)
+			binary.LittleEndian.PutUint64(payload[24:32], uint64(valid))
+			binary.LittleEndian.PutUint64(payload[32:40], uint64(total))
+			if err := respond(StatusOK, payload); err != nil {
+				return err
+			}
+
+		case opReset:
+			s.mu.Lock()
+			s.store.Reset()
+			s.mu.Unlock()
+			if err := respond(StatusOK, nil); err != nil {
+				return err
+			}
+
+		default:
+			return fmt.Errorf("%w: op %d", ErrBadFrame, op)
+		}
+	}
+}
+
+var _ = log.Printf // placeholder to keep log available for future handlers

@@ -1,0 +1,40 @@
+package packet
+
+// Checksum computes the RFC 1071 Internet checksum of data, folded into 16
+// bits and complemented. initial carries a partial sum (e.g. from a
+// pseudo-header); pass 0 when checksumming a standalone buffer.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < n {
+		sum += uint32(data[i]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderChecksum returns the partial sum of the IPv4 pseudo-header
+// used by TCP and UDP checksums, suitable as the initial argument to
+// Checksum.
+func pseudoHeaderChecksum(src, dst Addr4, proto Proto, length int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// VerifyIPv4Checksum reports whether the IPv4 header bytes carry a valid
+// checksum.
+func VerifyIPv4Checksum(header []byte) bool {
+	return Checksum(header, 0) == 0
+}

@@ -1,0 +1,183 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Decoding errors. ErrTruncated wraps the layer at which data ran out.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: bad IP version")
+	ErrBadIHL      = errors.New("packet: bad IPv4 header length")
+	ErrBadTCPOff   = errors.New("packet: bad TCP data offset")
+	ErrUnsupported = errors.New("packet: unsupported ethertype")
+)
+
+var be = binary.BigEndian
+
+// Decode parses an Ethernet frame into p, replacing any previous contents.
+// It decodes Ethernet, then IPv4 or IPv6, then TCP, UDP or ICMP. Unknown
+// transport protocols stop decoding without error (the IP layer is still
+// available). WireLen is set to len(data); callers that captured a snapshot
+// shorter than the original frame should overwrite it afterwards.
+func Decode(data []byte, p *Packet) error {
+	p.reset()
+	p.WireLen = len(data)
+
+	if len(data) < EthernetHeaderLen {
+		return fmt.Errorf("%w: ethernet: %d bytes", ErrTruncated, len(data))
+	}
+	copy(p.Eth.Dst[:], data[0:6])
+	copy(p.Eth.Src[:], data[6:12])
+	p.Eth.EtherType = be.Uint16(data[12:14])
+	p.Layers |= LayerEthernet
+	rest := data[EthernetHeaderLen:]
+
+	switch p.Eth.EtherType {
+	case EtherTypeIPv4:
+		return p.decodeIPv4(rest)
+	case EtherTypeIPv6:
+		return p.decodeIPv6(rest)
+	default:
+		return fmt.Errorf("%w: 0x%04x", ErrUnsupported, p.Eth.EtherType)
+	}
+}
+
+func (p *Packet) decodeIPv4(data []byte) error {
+	if len(data) < IPv4MinHeaderLen {
+		return fmt.Errorf("%w: ipv4: %d bytes", ErrTruncated, len(data))
+	}
+	h := &p.IP4
+	h.Version = data[0] >> 4
+	if h.Version != 4 {
+		return fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
+	}
+	h.IHL = data[0] & 0x0f
+	if h.IHL < 5 {
+		return fmt.Errorf("%w: ihl=%d", ErrBadIHL, h.IHL)
+	}
+	hlen := h.HeaderLen()
+	if len(data) < hlen {
+		return fmt.Errorf("%w: ipv4 options: %d < %d", ErrTruncated, len(data), hlen)
+	}
+	h.TOS = data[1]
+	h.TotalLen = be.Uint16(data[2:4])
+	h.ID = be.Uint16(data[4:6])
+	ff := be.Uint16(data[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = data[8]
+	h.Protocol = Proto(data[9])
+	h.Checksum = be.Uint16(data[10:12])
+	copy(h.Src[:], data[12:16])
+	copy(h.Dst[:], data[16:20])
+	p.Layers |= LayerIPv4
+
+	// Trust TotalLen for payload accounting when it is consistent with the
+	// captured bytes; otherwise fall back to what we actually have.
+	ipPayload := data[hlen:]
+	if tl := int(h.TotalLen); tl >= hlen && tl <= len(data) {
+		ipPayload = data[hlen:tl]
+	}
+	if h.FragOff != 0 {
+		// Non-first fragment: no transport header to parse.
+		p.PayloadLen = len(ipPayload)
+		return nil
+	}
+	return p.decodeTransport(h.Protocol, ipPayload)
+}
+
+func (p *Packet) decodeIPv6(data []byte) error {
+	if len(data) < IPv6HeaderLen {
+		return fmt.Errorf("%w: ipv6: %d bytes", ErrTruncated, len(data))
+	}
+	h := &p.IP6
+	h.Version = data[0] >> 4
+	if h.Version != 6 {
+		return fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
+	}
+	h.TrafficClass = data[0]<<4 | data[1]>>4
+	h.FlowLabel = uint32(data[1]&0x0f)<<16 | uint32(data[2])<<8 | uint32(data[3])
+	h.PayloadLen = be.Uint16(data[4:6])
+	h.NextHeader = Proto(data[6])
+	h.HopLimit = data[7]
+	copy(h.Src[:], data[8:24])
+	copy(h.Dst[:], data[24:40])
+	p.Layers |= LayerIPv6
+
+	payload := data[IPv6HeaderLen:]
+	if pl := int(h.PayloadLen); pl <= len(payload) {
+		payload = payload[:pl]
+	}
+	return p.decodeTransport(h.NextHeader, payload)
+}
+
+func (p *Packet) decodeTransport(proto Proto, data []byte) error {
+	switch proto {
+	case ProtoTCP:
+		return p.decodeTCP(data)
+	case ProtoUDP:
+		return p.decodeUDP(data)
+	case ProtoICMP:
+		return p.decodeICMP(data)
+	default:
+		p.PayloadLen = len(data)
+		return nil
+	}
+}
+
+func (p *Packet) decodeTCP(data []byte) error {
+	if len(data) < TCPMinHeaderLen {
+		return fmt.Errorf("%w: tcp: %d bytes", ErrTruncated, len(data))
+	}
+	h := &p.TCP
+	h.SrcPort = be.Uint16(data[0:2])
+	h.DstPort = be.Uint16(data[2:4])
+	h.Seq = be.Uint32(data[4:8])
+	h.Ack = be.Uint32(data[8:12])
+	h.DataOffset = data[12] >> 4
+	if h.DataOffset < 5 {
+		return fmt.Errorf("%w: offset=%d", ErrBadTCPOff, h.DataOffset)
+	}
+	hlen := h.HeaderLen()
+	if len(data) < hlen {
+		return fmt.Errorf("%w: tcp options: %d < %d", ErrTruncated, len(data), hlen)
+	}
+	h.Flags = data[13] & 0x3f
+	h.Window = be.Uint16(data[14:16])
+	h.Checksum = be.Uint16(data[16:18])
+	h.Urgent = be.Uint16(data[18:20])
+	p.Layers |= LayerTCP
+	p.PayloadLen = len(data) - hlen
+	return nil
+}
+
+func (p *Packet) decodeUDP(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return fmt.Errorf("%w: udp: %d bytes", ErrTruncated, len(data))
+	}
+	h := &p.UDP
+	h.SrcPort = be.Uint16(data[0:2])
+	h.DstPort = be.Uint16(data[2:4])
+	h.Length = be.Uint16(data[4:6])
+	h.Checksum = be.Uint16(data[6:8])
+	p.Layers |= LayerUDP
+	p.PayloadLen = len(data) - UDPHeaderLen
+	return nil
+}
+
+func (p *Packet) decodeICMP(data []byte) error {
+	if len(data) < ICMPHeaderLen {
+		return fmt.Errorf("%w: icmp: %d bytes", ErrTruncated, len(data))
+	}
+	h := &p.ICMP
+	h.Type = data[0]
+	h.Code = data[1]
+	h.Checksum = be.Uint16(data[2:4])
+	h.Rest = be.Uint32(data[4:8])
+	p.Layers |= LayerICMP
+	p.PayloadLen = len(data) - ICMPHeaderLen
+	return nil
+}

@@ -1,0 +1,189 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Encode when the destination buffer cannot
+// hold the serialized packet.
+var ErrShortBuffer = errors.New("packet: short buffer")
+
+// EncodedLen returns the number of bytes Encode will produce for p: all
+// decoded headers plus PayloadLen bytes of zero payload.
+func (p *Packet) EncodedLen() int {
+	n := 0
+	if p.Has(LayerEthernet) {
+		n += EthernetHeaderLen
+	}
+	switch {
+	case p.Has(LayerIPv4):
+		n += p.IP4.HeaderLen()
+	case p.Has(LayerIPv6):
+		n += IPv6HeaderLen
+	}
+	switch {
+	case p.Has(LayerTCP):
+		n += p.TCP.HeaderLen()
+	case p.Has(LayerUDP):
+		n += UDPHeaderLen
+	case p.Has(LayerICMP):
+		n += ICMPHeaderLen
+	}
+	return n + p.PayloadLen
+}
+
+// Encode serializes p into buf and returns the number of bytes written.
+// Payload bytes are zero-filled: the telemetry system never inspects
+// payloads, only their lengths. Length and checksum fields are recomputed
+// so that Decode(Encode(p)) round-trips: IPv4 TotalLen, UDP Length, IPv4
+// header checksum, and TCP/UDP pseudo-header checksums are all filled in.
+func (p *Packet) Encode(buf []byte) (int, error) {
+	total := p.EncodedLen()
+	if len(buf) < total {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, total, len(buf))
+	}
+	if !p.Has(LayerEthernet) {
+		return 0, errors.New("packet: encode requires an Ethernet layer")
+	}
+
+	off := 0
+	copy(buf[0:6], p.Eth.Dst[:])
+	copy(buf[6:12], p.Eth.Src[:])
+	be.PutUint16(buf[12:14], p.Eth.EtherType)
+	off = EthernetHeaderLen
+
+	ipStart := off
+	switch {
+	case p.Has(LayerIPv4):
+		off = p.encodeIPv4(buf, off, total-ipStart)
+	case p.Has(LayerIPv6):
+		off = p.encodeIPv6(buf, off, total-ipStart-IPv6HeaderLen)
+	}
+
+	tStart := off
+	switch {
+	case p.Has(LayerTCP):
+		off = p.encodeTCP(buf, off)
+	case p.Has(LayerUDP):
+		off = p.encodeUDP(buf, off)
+	case p.Has(LayerICMP):
+		off = p.encodeICMP(buf, off)
+	}
+
+	// Zero-fill payload.
+	for i := off; i < total; i++ {
+		buf[i] = 0
+	}
+
+	// Transport checksums need the pseudo-header, which needs final lengths.
+	segLen := total - tStart
+	switch {
+	case p.Has(LayerTCP) && p.Has(LayerIPv4):
+		be.PutUint16(buf[tStart+16:], 0)
+		sum := pseudoHeaderChecksum(p.IP4.Src, p.IP4.Dst, ProtoTCP, segLen)
+		be.PutUint16(buf[tStart+16:], Checksum(buf[tStart:total], sum))
+	case p.Has(LayerUDP) && p.Has(LayerIPv4):
+		be.PutUint16(buf[tStart+6:], 0)
+		sum := pseudoHeaderChecksum(p.IP4.Src, p.IP4.Dst, ProtoUDP, segLen)
+		be.PutUint16(buf[tStart+6:], Checksum(buf[tStart:total], sum))
+	}
+	return total, nil
+}
+
+// AppendEncode appends the serialized packet to dst and returns the
+// extended slice.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
+	n := p.EncodedLen()
+	off := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	if _, err := p.Encode(dst[off:]); err != nil {
+		return dst[:off], err
+	}
+	return dst, nil
+}
+
+func (p *Packet) encodeIPv4(buf []byte, off, ipTotal int) int {
+	h := &p.IP4
+	if h.IHL < 5 {
+		h.IHL = 5
+	}
+	hlen := h.HeaderLen()
+	b := buf[off : off+hlen]
+	for i := range b {
+		b[i] = 0 // options, if any, are zero-filled
+	}
+	b[0] = 4<<4 | h.IHL
+	b[1] = h.TOS
+	h.TotalLen = uint16(ipTotal)
+	be.PutUint16(b[2:4], h.TotalLen)
+	be.PutUint16(b[4:6], h.ID)
+	be.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = byte(h.Protocol)
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	h.Checksum = Checksum(b, 0)
+	be.PutUint16(b[10:12], h.Checksum)
+	return off + hlen
+}
+
+func (p *Packet) encodeIPv6(buf []byte, off, payloadLen int) int {
+	h := &p.IP6
+	b := buf[off : off+IPv6HeaderLen]
+	b[0] = 6<<4 | h.TrafficClass>>4
+	b[1] = h.TrafficClass<<4 | byte(h.FlowLabel>>16)&0x0f
+	b[2] = byte(h.FlowLabel >> 8)
+	b[3] = byte(h.FlowLabel)
+	h.PayloadLen = uint16(payloadLen)
+	be.PutUint16(b[4:6], h.PayloadLen)
+	b[6] = byte(h.NextHeader)
+	b[7] = h.HopLimit
+	copy(b[8:24], h.Src[:])
+	copy(b[24:40], h.Dst[:])
+	return off + IPv6HeaderLen
+}
+
+func (p *Packet) encodeTCP(buf []byte, off int) int {
+	h := &p.TCP
+	if h.DataOffset < 5 {
+		h.DataOffset = 5
+	}
+	hlen := h.HeaderLen()
+	b := buf[off : off+hlen]
+	for i := range b {
+		b[i] = 0
+	}
+	be.PutUint16(b[0:2], h.SrcPort)
+	be.PutUint16(b[2:4], h.DstPort)
+	be.PutUint32(b[4:8], h.Seq)
+	be.PutUint32(b[8:12], h.Ack)
+	b[12] = h.DataOffset << 4
+	b[13] = h.Flags
+	be.PutUint16(b[14:16], h.Window)
+	be.PutUint16(b[18:20], h.Urgent)
+	return off + hlen
+}
+
+func (p *Packet) encodeUDP(buf []byte, off int) int {
+	h := &p.UDP
+	b := buf[off : off+UDPHeaderLen]
+	be.PutUint16(b[0:2], h.SrcPort)
+	be.PutUint16(b[2:4], h.DstPort)
+	h.Length = uint16(UDPHeaderLen + p.PayloadLen)
+	be.PutUint16(b[4:6], h.Length)
+	be.PutUint16(b[6:8], 0)
+	return off + UDPHeaderLen
+}
+
+func (p *Packet) encodeICMP(buf []byte, off int) int {
+	h := &p.ICMP
+	b := buf[off : off+ICMPHeaderLen]
+	b[0] = h.Type
+	b[1] = h.Code
+	be.PutUint16(b[2:4], 0)
+	be.PutUint32(b[4:8], h.Rest)
+	h.Checksum = Checksum(b, 0)
+	be.PutUint16(b[2:4], h.Checksum)
+	return off + ICMPHeaderLen
+}

@@ -1,0 +1,129 @@
+package packet
+
+import "fmt"
+
+// FiveTuple is the canonical transport flow identifier: source and
+// destination IPv4 addresses and ports plus the IP protocol. It is a
+// comparable value type, usable directly as a map key, mirroring
+// gopacket's Flow/Endpoint design. IPv6 flows are folded to a 32-bit
+// digest of each address so they share the same key space (the paper's
+// hardware packs keys into 104 bits and is agnostic to how operators
+// define them).
+type FiveTuple struct {
+	Src     Addr4
+	Dst     Addr4
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// String formats the tuple as "proto src:sport > dst:dport".
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%v %v:%d > %v:%d", t.Proto, t.Src, t.SrcPort, t.Dst, t.DstPort)
+}
+
+// Reverse returns the tuple of the opposite direction of the same
+// conversation.
+func (t FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: t.Dst, Dst: t.Src, SrcPort: t.DstPort, DstPort: t.SrcPort, Proto: t.Proto}
+}
+
+// FlowKey extracts the five-tuple from a decoded packet. Packets without an
+// IP layer yield the zero tuple; non-TCP/UDP packets have zero ports.
+func (p *Packet) FlowKey() FiveTuple {
+	var t FiveTuple
+	switch {
+	case p.Has(LayerIPv4):
+		t.Src = p.IP4.Src
+		t.Dst = p.IP4.Dst
+		t.Proto = p.IP4.Protocol
+	case p.Has(LayerIPv6):
+		t.Src = fold16to4(p.IP6.Src)
+		t.Dst = fold16to4(p.IP6.Dst)
+		t.Proto = p.IP6.NextHeader
+	default:
+		return t
+	}
+	t.SrcPort = p.SrcPort()
+	t.DstPort = p.DstPort()
+	return t
+}
+
+// fold16to4 digests an IPv6 address into 4 bytes by XOR-folding, so v6
+// flows can share the v4-shaped key space.
+func fold16to4(a Addr16) Addr4 {
+	var out Addr4
+	for i := 0; i < 16; i++ {
+		out[i%4] ^= a[i]
+	}
+	return out
+}
+
+// Key128 is the 128-bit wire format of a key-value-store key. The paper's
+// design stores 104-bit five-tuple keys padded to 128 bits (one SRAM word).
+// It is comparable and is the on-the-wire key type of the backing-store
+// protocol.
+type Key128 [16]byte
+
+// Pack packs the five-tuple into its 128-bit key representation:
+// src(4) dst(4) sport(2) dport(2) proto(1) pad(3).
+func (t FiveTuple) Pack() Key128 {
+	var k Key128
+	copy(k[0:4], t.Src[:])
+	copy(k[4:8], t.Dst[:])
+	be.PutUint16(k[8:10], t.SrcPort)
+	be.PutUint16(k[10:12], t.DstPort)
+	k[12] = byte(t.Proto)
+	return k
+}
+
+// UnpackFiveTuple reverses FiveTuple.Pack.
+func UnpackFiveTuple(k Key128) FiveTuple {
+	var t FiveTuple
+	copy(t.Src[:], k[0:4])
+	copy(t.Dst[:], k[4:8])
+	t.SrcPort = be.Uint16(k[8:10])
+	t.DstPort = be.Uint16(k[10:12])
+	t.Proto = Proto(k[12])
+	return t
+}
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Hash returns a 64-bit hash of the key: FNV-1a followed by a
+// murmur3-style avalanche finalizer. FNV alone leaves the low-order bits a
+// function of only the low-order input bits (mod-2^k arithmetic is closed),
+// which would bias the cache's hash%nBuckets index; the finalizer mixes
+// every input bit into every output bit. A fixed function is used instead
+// of hash/maphash so bucket placement — and therefore the reproduced
+// figures — is deterministic across processes.
+func (k Key128) Hash() uint64 {
+	h := fnvOffset64
+	for _, b := range k {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// FastHash returns a 64-bit hash of the five-tuple. It is symmetric under
+// Reverse (A→B and B→A hash alike), matching gopacket's Flow.FastHash
+// contract, which makes it suitable for assigning both directions of a
+// conversation to one shard.
+func (t FiveTuple) FastHash() uint64 {
+	a := t.Pack()
+	b := t.Reverse().Pack()
+	ha, hb := a.Hash(), b.Hash()
+	if ha < hb {
+		return ha*fnvPrime64 ^ hb
+	}
+	return hb*fnvPrime64 ^ ha
+}

@@ -1,0 +1,117 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		want := FiveTuple{
+			Src: Addr4FromUint32(src), Dst: Addr4FromUint32(dst),
+			SrcPort: sp, DstPort: dp, Proto: Proto(proto),
+		}
+		return UnpackFiveTuple(want.Pack()) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastHashSymmetric(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16) bool {
+		ft := FiveTuple{
+			Src: Addr4FromUint32(src), Dst: Addr4FromUint32(dst),
+			SrcPort: sp, DstPort: dp, Proto: ProtoTCP,
+		}
+		return ft.FastHash() == ft.Reverse().FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	ft := FiveTuple{Src: Addr4{1, 2, 3, 4}, Dst: Addr4{5, 6, 7, 8}, SrcPort: 9, DstPort: 10, Proto: ProtoUDP}
+	if got := ft.Reverse().Reverse(); got != ft {
+		t.Errorf("Reverse∘Reverse = %v, want %v", got, ft)
+	}
+}
+
+func TestKeyHashDeterministic(t *testing.T) {
+	k := FiveTuple{Src: Addr4{10, 0, 0, 1}, Dst: Addr4{10, 0, 0, 2}, SrcPort: 80, DstPort: 8080, Proto: ProtoTCP}.Pack()
+	// FNV-1a must be stable across runs and platforms; pin the value.
+	if h1, h2 := k.Hash(), k.Hash(); h1 != h2 {
+		t.Fatalf("hash not deterministic within a run: %x vs %x", h1, h2)
+	}
+	const want = uint64(0x0b9df5b792e297da)
+	if got := k.Hash(); got != want {
+		// If this fails the FNV implementation changed; figures would shift.
+		t.Errorf("pinned hash = %#x, want %#x", got, want)
+	}
+}
+
+func TestHashDispersion(t *testing.T) {
+	// All 64 low-order bucket indices should be populated by a modest
+	// number of sequential flows if the hash disperses adequately.
+	seen := make(map[uint64]bool)
+	for i := 0; i < 4096; i++ {
+		ft := FiveTuple{
+			Src: Addr4FromUint32(0x0a000000 + uint32(i)), Dst: Addr4{10, 0, 0, 2},
+			SrcPort: uint16(1024 + i), DstPort: 443, Proto: ProtoTCP,
+		}
+		seen[ft.Pack().Hash()%64] = true
+	}
+	if len(seen) != 64 {
+		t.Errorf("only %d/64 buckets hit by 4096 flows", len(seen))
+	}
+}
+
+func TestFlowKeyFromPacket(t *testing.T) {
+	p := tcpPacket()
+	ft := p.FlowKey()
+	if ft.Src != p.IP4.Src || ft.DstPort != p.TCP.DstPort || ft.Proto != ProtoTCP {
+		t.Errorf("FlowKey = %v", ft)
+	}
+	var none Packet
+	if got := none.FlowKey(); got != (FiveTuple{}) {
+		t.Errorf("FlowKey of empty packet = %v, want zero", got)
+	}
+}
+
+func TestFlowKeyIPv6Folded(t *testing.T) {
+	p := &Packet{
+		Layers: LayerIPv6 | LayerTCP,
+		IP6:    IPv6{NextHeader: ProtoTCP, Src: Addr16{1: 0xaa}, Dst: Addr16{2: 0xbb}},
+		TCP:    TCP{SrcPort: 1, DstPort: 2},
+	}
+	ft := p.FlowKey()
+	if ft.Proto != ProtoTCP || ft.SrcPort != 1 {
+		t.Errorf("v6 FlowKey = %v", ft)
+	}
+	if ft.Src == ft.Dst {
+		t.Error("distinct v6 addresses folded to identical v4 digests")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf, _ := tcpPacket().AppendEncode(nil)
+	var p Packet
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Decode(buf, &p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeyHash(b *testing.B) {
+	k := FiveTuple{Src: Addr4{10, 0, 0, 1}, Dst: Addr4{10, 0, 0, 2}, SrcPort: 80, DstPort: 8080, Proto: ProtoTCP}.Pack()
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= k.Hash()
+	}
+	_ = sink
+}

@@ -1,0 +1,301 @@
+package packet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tcpPacket() *Packet {
+	return &Packet{
+		Layers: LayerEthernet | LayerIPv4 | LayerTCP,
+		Eth: Ethernet{
+			Dst:       EthAddr{0x02, 0, 0, 0, 0, 1},
+			Src:       EthAddr{0x02, 0, 0, 0, 0, 2},
+			EtherType: EtherTypeIPv4,
+		},
+		IP4: IPv4{
+			Version: 4, IHL: 5, TTL: 64, Protocol: ProtoTCP, ID: 7,
+			Src: Addr4{10, 0, 0, 1}, Dst: Addr4{10, 0, 0, 2},
+		},
+		TCP: TCP{
+			SrcPort: 443, DstPort: 51234, Seq: 1000, Ack: 2000,
+			DataOffset: 5, Flags: TCPAck | TCPPsh, Window: 65535,
+		},
+		PayloadLen: 100,
+	}
+}
+
+func udpPacket() *Packet {
+	return &Packet{
+		Layers: LayerEthernet | LayerIPv4 | LayerUDP,
+		Eth: Ethernet{
+			Dst:       EthAddr{0x02, 0, 0, 0, 0, 3},
+			Src:       EthAddr{0x02, 0, 0, 0, 0, 4},
+			EtherType: EtherTypeIPv4,
+		},
+		IP4: IPv4{
+			Version: 4, IHL: 5, TTL: 63, Protocol: ProtoUDP,
+			Src: Addr4{192, 168, 1, 5}, Dst: Addr4{8, 8, 8, 8},
+		},
+		UDP:        UDP{SrcPort: 5353, DstPort: 53},
+		PayloadLen: 48,
+	}
+}
+
+func TestEncodeDecodeTCPRoundTrip(t *testing.T) {
+	want := tcpPacket()
+	buf := make([]byte, want.EncodedLen())
+	n, err := want.Encode(buf)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if n != want.EncodedLen() {
+		t.Fatalf("Encode wrote %d bytes, want %d", n, want.EncodedLen())
+	}
+
+	var got Packet
+	if err := Decode(buf[:n], &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.Has(LayerEthernet | LayerIPv4 | LayerTCP) {
+		t.Fatalf("layers = %b, want eth|ip4|tcp", got.Layers)
+	}
+	if got.IP4.Src != want.IP4.Src || got.IP4.Dst != want.IP4.Dst {
+		t.Errorf("IP addrs: got %v>%v want %v>%v", got.IP4.Src, got.IP4.Dst, want.IP4.Src, want.IP4.Dst)
+	}
+	if got.TCP.Seq != want.TCP.Seq || got.TCP.Flags != want.TCP.Flags {
+		t.Errorf("TCP: got %+v want %+v", got.TCP, want.TCP)
+	}
+	if got.PayloadLen != want.PayloadLen {
+		t.Errorf("PayloadLen = %d, want %d", got.PayloadLen, want.PayloadLen)
+	}
+	if got.WireLen != n {
+		t.Errorf("WireLen = %d, want %d", got.WireLen, n)
+	}
+}
+
+func TestEncodeDecodeUDPRoundTrip(t *testing.T) {
+	want := udpPacket()
+	buf, err := want.AppendEncode(nil)
+	if err != nil {
+		t.Fatalf("AppendEncode: %v", err)
+	}
+	var got Packet
+	if err := Decode(buf, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.UDP.SrcPort != 5353 || got.UDP.DstPort != 53 {
+		t.Errorf("UDP ports: got %d>%d", got.UDP.SrcPort, got.UDP.DstPort)
+	}
+	if got.PayloadLen != 48 {
+		t.Errorf("PayloadLen = %d, want 48", got.PayloadLen)
+	}
+	if got.UDP.Length != uint16(UDPHeaderLen+48) {
+		t.Errorf("UDP.Length = %d, want %d", got.UDP.Length, UDPHeaderLen+48)
+	}
+}
+
+func TestEncodeComputesValidChecksums(t *testing.T) {
+	p := tcpPacket()
+	buf, err := p.AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipHdr := buf[EthernetHeaderLen : EthernetHeaderLen+IPv4MinHeaderLen]
+	if !VerifyIPv4Checksum(ipHdr) {
+		t.Error("IPv4 header checksum does not verify")
+	}
+	// TCP checksum over pseudo-header + segment must fold to zero.
+	seg := buf[EthernetHeaderLen+IPv4MinHeaderLen:]
+	sum := pseudoHeaderChecksum(p.IP4.Src, p.IP4.Dst, ProtoTCP, len(seg))
+	if got := Checksum(seg, sum); got != 0 {
+		t.Errorf("TCP checksum residue = %#x, want 0", got)
+	}
+}
+
+func TestDecodeIPv6(t *testing.T) {
+	p := &Packet{
+		Layers: LayerEthernet | LayerIPv6 | LayerTCP,
+		Eth:    Ethernet{EtherType: EtherTypeIPv6},
+		IP6: IPv6{
+			Version: 6, NextHeader: ProtoTCP, HopLimit: 60,
+			Src: Addr16{0x20, 0x01, 0x0d, 0xb8, 15: 1},
+			Dst: Addr16{0x20, 0x01, 0x0d, 0xb8, 15: 2},
+		},
+		TCP:        TCP{SrcPort: 80, DstPort: 4000, DataOffset: 5},
+		PayloadLen: 10,
+	}
+	buf, err := p.AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Packet
+	if err := Decode(buf, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.Has(LayerIPv6 | LayerTCP) {
+		t.Fatalf("layers = %b, want ip6|tcp", got.Layers)
+	}
+	if got.IP6.Src != p.IP6.Src {
+		t.Errorf("v6 src mismatch: %v", got.IP6.Src)
+	}
+	if got.Proto() != ProtoTCP {
+		t.Errorf("Proto() = %v, want TCP", got.Proto())
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full, err := tcpPacket().AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	// Every strict prefix that cuts a header mid-way must fail with
+	// ErrTruncated, except prefixes that end exactly at a layer boundary
+	// and leave a decodable (payload-less) packet.
+	for _, n := range []int{0, 5, 13, EthernetHeaderLen + 3, EthernetHeaderLen + IPv4MinHeaderLen + 7} {
+		if err := Decode(full[:n], &p); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Decode(%d bytes) = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestDecodeUnsupportedEtherType(t *testing.T) {
+	buf := make([]byte, 64)
+	buf[12], buf[13] = 0x08, 0x06 // ARP
+	var p Packet
+	if err := Decode(buf, &p); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Decode(ARP) = %v, want ErrUnsupported", err)
+	}
+	if !p.Has(LayerEthernet) {
+		t.Error("Ethernet layer should still be decoded")
+	}
+}
+
+func TestDecodeFragmentSkipsTransport(t *testing.T) {
+	p := tcpPacket()
+	p.IP4.FragOff = 100
+	buf, err := p.AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Packet
+	if err := Decode(buf, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Has(LayerTCP) {
+		t.Error("non-first fragment must not decode a TCP layer")
+	}
+	if !got.Has(LayerIPv4) {
+		t.Error("IP layer missing")
+	}
+}
+
+func TestDecodeReusesPacket(t *testing.T) {
+	bufTCP, _ := tcpPacket().AppendEncode(nil)
+	bufUDP, _ := udpPacket().AppendEncode(nil)
+	var p Packet
+	if err := Decode(bufTCP, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := Decode(bufUDP, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Has(LayerTCP) {
+		t.Error("stale TCP layer bit after reuse")
+	}
+	if !p.Has(LayerUDP) {
+		t.Error("UDP layer missing after reuse")
+	}
+}
+
+func TestDecodeAllocFree(t *testing.T) {
+	buf, _ := tcpPacket().AppendEncode(nil)
+	var p Packet
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := Decode(buf, &p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Decode allocates %v times per run, want 0", allocs)
+	}
+}
+
+// randomTCP builds a random but valid TCP/IPv4 packet from quick's seed
+// values.
+func randomTCP(r *rand.Rand) *Packet {
+	p := &Packet{
+		Layers: LayerEthernet | LayerIPv4 | LayerTCP,
+		Eth:    Ethernet{EtherType: EtherTypeIPv4},
+		IP4: IPv4{
+			Version: 4, IHL: 5, TOS: uint8(r.Uint32()), TTL: uint8(r.Uint32()),
+			ID: uint16(r.Uint32()), Protocol: ProtoTCP,
+			Src: Addr4FromUint32(r.Uint32()), Dst: Addr4FromUint32(r.Uint32()),
+		},
+		TCP: TCP{
+			SrcPort: uint16(r.Uint32()), DstPort: uint16(r.Uint32()),
+			Seq: r.Uint32(), Ack: r.Uint32(),
+			DataOffset: 5 + uint8(r.Intn(11)), // 5..15: include options
+			Flags:      uint8(r.Uint32()) & 0x3f,
+			Window:     uint16(r.Uint32()),
+		},
+		PayloadLen: r.Intn(1400),
+	}
+	r.Read(p.Eth.Src[:])
+	r.Read(p.Eth.Dst[:])
+	return p
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		want := randomTCP(r)
+		buf, err := want.AppendEncode(nil)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		var got Packet
+		if err := Decode(buf, &got); err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return got.IP4.Src == want.IP4.Src &&
+			got.IP4.Dst == want.IP4.Dst &&
+			got.TCP.SrcPort == want.TCP.SrcPort &&
+			got.TCP.DstPort == want.TCP.DstPort &&
+			got.TCP.Seq == want.TCP.Seq &&
+			got.TCP.Ack == want.TCP.Ack &&
+			got.TCP.Flags == want.TCP.Flags &&
+			got.TCP.DataOffset == want.TCP.DataOffset &&
+			got.PayloadLen == want.PayloadLen &&
+			got.FlowKey() == want.FlowKey()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChecksumIncremental(t *testing.T) {
+	// Checksum(data, 0) == 0 iff data already contains its own checksum:
+	// verify by inserting the computed checksum and re-checking, for random
+	// even-length buffers.
+	f := func(data []byte) bool {
+		if len(data) < 4 {
+			return true
+		}
+		if len(data)%2 == 1 {
+			data = data[:len(data)-1]
+		}
+		data[0], data[1] = 0, 0
+		c := Checksum(data, 0)
+		data[0], data[1] = byte(c>>8), byte(c)
+		return Checksum(data, 0) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package pcap reads and writes libpcap-format capture files using only the
+// standard library. Both the classic microsecond (0xa1b2c3d4) and the
+// nanosecond (0xa1b23c4d) magic variants are supported, in either byte
+// order. Timestamps are surfaced as int64 nanoseconds so the rest of the
+// system works in a single time unit.
+//
+// This is the bridge between perfq's synthetic traces and real captures: a
+// CAIDA trace written as pcap can be fed to every experiment in place of
+// the generated workload.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic numbers identifying pcap files.
+const (
+	MagicMicroseconds = 0xa1b2c3d4
+	MagicNanoseconds  = 0xa1b23c4d
+)
+
+// LinkTypeEthernet is the only link type perfq produces; readers accept any
+// link type and surface it to the caller.
+const LinkTypeEthernet = 1
+
+const (
+	fileHeaderLen   = 24
+	recordHeaderLen = 16
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic  = errors.New("pcap: bad magic number")
+	ErrTruncated = errors.New("pcap: truncated file")
+	ErrSnapLen   = errors.New("pcap: record exceeds snap length")
+)
+
+// Header describes a capture file.
+type Header struct {
+	// Nanosecond reports whether timestamps carry nanosecond sub-second
+	// precision (vs microsecond).
+	Nanosecond bool
+	// SnapLen is the maximum number of bytes captured per packet.
+	SnapLen uint32
+	// LinkType is the data link type of the capture (1 = Ethernet).
+	LinkType uint32
+}
+
+// Record is one captured packet.
+type Record struct {
+	// Time is the capture timestamp in nanoseconds since the Unix epoch.
+	Time int64
+	// OrigLen is the length of the packet as it appeared on the wire.
+	OrigLen int
+	// Data holds the captured bytes (possibly fewer than OrigLen). The
+	// slice is only valid until the next call to Next unless the reader
+	// was created with copying enabled.
+	Data []byte
+}
+
+// Reader decodes a pcap stream.
+type Reader struct {
+	r       *bufio.Reader
+	order   binary.ByteOrder
+	hdr     Header
+	buf     []byte
+	scratch [recordHeaderLen]byte
+}
+
+// NewReader parses the file header and returns a reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var h [fileHeaderLen]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: file header", ErrTruncated)
+		}
+		return nil, err
+	}
+
+	var order binary.ByteOrder
+	var nano bool
+	switch magic := binary.LittleEndian.Uint32(h[0:4]); magic {
+	case MagicMicroseconds:
+		order, nano = binary.LittleEndian, false
+	case MagicNanoseconds:
+		order, nano = binary.LittleEndian, true
+	default:
+		switch magic := binary.BigEndian.Uint32(h[0:4]); magic {
+		case MagicMicroseconds:
+			order, nano = binary.BigEndian, false
+		case MagicNanoseconds:
+			order, nano = binary.BigEndian, true
+		default:
+			return nil, fmt.Errorf("%w: %#08x", ErrBadMagic, magic)
+		}
+	}
+
+	rd := &Reader{
+		r:     br,
+		order: order,
+		hdr: Header{
+			Nanosecond: nano,
+			SnapLen:    order.Uint32(h[16:20]),
+			LinkType:   order.Uint32(h[20:24]),
+		},
+	}
+	if rd.hdr.SnapLen == 0 || rd.hdr.SnapLen > 1<<20 {
+		rd.hdr.SnapLen = 1 << 20
+	}
+	rd.buf = make([]byte, rd.hdr.SnapLen)
+	return rd, nil
+}
+
+// Header returns the capture file header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next reads the next record into rec. The record's Data aliases an
+// internal buffer that is overwritten by the following call; copy it if it
+// must outlive the iteration. Next returns io.EOF at a clean end of file
+// and ErrTruncated if the file ends mid-record.
+func (r *Reader) Next(rec *Record) error {
+	if _, err := io.ReadFull(r.r, r.scratch[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: record header", ErrTruncated)
+		}
+		return err
+	}
+	sec := r.order.Uint32(r.scratch[0:4])
+	sub := r.order.Uint32(r.scratch[4:8])
+	incl := r.order.Uint32(r.scratch[8:12])
+	orig := r.order.Uint32(r.scratch[12:16])
+
+	if incl > r.hdr.SnapLen {
+		return fmt.Errorf("%w: incl=%d snap=%d", ErrSnapLen, incl, r.hdr.SnapLen)
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:incl]); err != nil {
+		return fmt.Errorf("%w: record body", ErrTruncated)
+	}
+
+	if r.hdr.Nanosecond {
+		rec.Time = int64(sec)*1e9 + int64(sub)
+	} else {
+		rec.Time = int64(sec)*1e9 + int64(sub)*1e3
+	}
+	rec.OrigLen = int(orig)
+	rec.Data = r.buf[:incl]
+	return nil
+}
+
+// Writer encodes records to a pcap stream.
+type Writer struct {
+	w       *bufio.Writer
+	hdr     Header
+	count   int64
+	scratch [recordHeaderLen]byte
+}
+
+// NewWriter writes a nanosecond-precision little-endian file header and
+// returns a writer. snapLen of 0 defaults to 65535.
+func NewWriter(w io.Writer, snapLen uint32) (*Writer, error) {
+	if snapLen == 0 {
+		snapLen = 65535
+	}
+	var h [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], MagicNanoseconds)
+	binary.LittleEndian.PutUint16(h[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(h[6:8], 4) // version minor
+	binary.LittleEndian.PutUint32(h[16:20], snapLen)
+	binary.LittleEndian.PutUint32(h[20:24], LinkTypeEthernet)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(h[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		w:   bw,
+		hdr: Header{Nanosecond: true, SnapLen: snapLen, LinkType: LinkTypeEthernet},
+	}, nil
+}
+
+// Write appends one record. data longer than the snap length is truncated
+// (with OrigLen recording the full size), matching capture semantics.
+func (w *Writer) Write(timeNs int64, data []byte, origLen int) error {
+	if origLen < len(data) {
+		origLen = len(data)
+	}
+	incl := len(data)
+	if uint32(incl) > w.hdr.SnapLen {
+		incl = int(w.hdr.SnapLen)
+	}
+	binary.LittleEndian.PutUint32(w.scratch[0:4], uint32(timeNs/1e9))
+	binary.LittleEndian.PutUint32(w.scratch[4:8], uint32(timeNs%1e9))
+	binary.LittleEndian.PutUint32(w.scratch[8:12], uint32(incl))
+	binary.LittleEndian.PutUint32(w.scratch[12:16], uint32(origLen))
+	if _, err := w.w.Write(w.scratch[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(data[:incl]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush drains buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }

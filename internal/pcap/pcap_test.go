@@ -1,0 +1,181 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := [][]byte{
+		bytes.Repeat([]byte{0xaa}, 60),
+		bytes.Repeat([]byte{0xbb}, 1500),
+		{0x01},
+	}
+	times := []int64{0, 1_500_000_001, 299_999_999_999}
+	for i, p := range pkts {
+		if err := w.Write(times[i], p, len(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d, want 3", w.Count())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Header().Nanosecond {
+		t.Error("writer should emit nanosecond magic")
+	}
+	if r.Header().LinkType != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.Header().LinkType)
+	}
+	var rec Record
+	for i := range pkts {
+		if err := r.Next(&rec); err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if rec.Time != times[i] {
+			t.Errorf("rec %d time = %d, want %d", i, rec.Time, times[i])
+		}
+		if !bytes.Equal(rec.Data, pkts[i]) {
+			t.Errorf("rec %d data mismatch (%d vs %d bytes)", i, len(rec.Data), len(pkts[i]))
+		}
+		if rec.OrigLen != len(pkts[i]) {
+			t.Errorf("rec %d origlen = %d", i, rec.OrigLen)
+		}
+	}
+	if err := r.Next(&rec); err != io.EOF {
+		t.Errorf("expected io.EOF at end, got %v", err)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xcc}, 1000)
+	if err := w.Write(42, big, len(big)); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := r.Next(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 64 {
+		t.Errorf("captured %d bytes, want 64", len(rec.Data))
+	}
+	if rec.OrigLen != 1000 {
+		t.Errorf("OrigLen = %d, want 1000", rec.OrigLen)
+	}
+}
+
+func TestMicrosecondBigEndian(t *testing.T) {
+	// Hand-build a big-endian microsecond file with one 4-byte record.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], MagicMicroseconds)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 10)  // sec
+	binary.BigEndian.PutUint32(rec[4:8], 250) // usec
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 4)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header().Nanosecond {
+		t.Error("microsecond magic misread as nanosecond")
+	}
+	var got Record
+	if err := r.Next(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(10)*1e9 + 250*1e3; got.Time != want {
+		t.Errorf("Time = %d, want %d", got.Time, want)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader(bytes.Repeat([]byte{0x42}, 24)))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte{0xd4, 0xc3}))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("got %v, want ErrTruncated", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.Write(1, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	w.Flush()
+	full := buf.Bytes()
+
+	for _, cut := range []int{len(full) - 3, 24 + 7} {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec Record
+		if err := r.Next(&rec); !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut=%d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], MagicNanoseconds)
+	binary.LittleEndian.PutUint32(hdr[16:20], 32) // snaplen 32
+	binary.LittleEndian.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], 64) // incl 64 > snap 32
+	binary.LittleEndian.PutUint32(rec[12:16], 64)
+	buf.Write(rec)
+	buf.Write(make([]byte, 64))
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := r.Next(&got); !errors.Is(err, ErrSnapLen) {
+		t.Errorf("got %v, want ErrSnapLen", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package queries holds the paper's Figure 2 example queries in this
+// implementation's concrete syntax, with the metadata the evaluation
+// reproduces (most importantly the "Linear in state?" column). They are
+// shared by tests, the experiment harness (cmd/evalhw -exp fig2) and the
+// documentation.
+package queries
+
+// Example is one Figure 2 row.
+type Example struct {
+	// Name matches the paper's row label.
+	Name string
+	// Source is the query program.
+	Source string
+	// Description paraphrases the paper's description column.
+	Description string
+	// Linear is the paper's "Linear in state?" column.
+	Linear bool
+	// Result names the stage whose output is the example's answer.
+	Result string
+}
+
+// Fig2 lists the seven example queries of Figure 2, in paper order.
+//
+// Concretization notes: proto==TCP is written proto==6; thresholds (L, K)
+// are bound with const declarations; and the "per-flow high latency"
+// example groups R1 by (pkt_uniq, 5tuple) because pkt_uniq here is an
+// opaque ID — the paper assumes pkt_uniq is a tuple of headers that
+// includes the 5-tuple.
+var Fig2 = []Example{
+	{
+		Name: "Per-flow counters",
+		Source: `SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip
+`,
+		Description: "Count packets and bytes for each src-dst IP pair.",
+		Linear:      true,
+		Result:      "_1",
+	},
+	{
+		Name: "Latency EWMA",
+		Source: `const alpha = 0.125
+def ewma(lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+SELECT 5tuple, ewma GROUPBY 5tuple
+`,
+		Description: "Maintain a per-flow EWMA over queueing latencies of packets.",
+		Linear:      true,
+		Result:      "_1",
+	},
+	{
+		Name: "TCP out of sequence",
+		Source: `def outofseq((lastseq, oos_count), (tcpseq, payload_len)):
+    if lastseq + 1 != tcpseq:
+        oos_count = oos_count + 1
+    lastseq = tcpseq + payload_len
+
+SELECT 5tuple, outofseq GROUPBY 5tuple WHERE proto == 6
+`,
+		Description: "Count packets with non-consecutive sequence numbers in each TCP stream.",
+		Linear:      true,
+		Result:      "_1",
+	},
+	{
+		Name: "TCP non-monotonic",
+		Source: `def nonmt((maxseq, nm_count), tcpseq):
+    if maxseq > tcpseq:
+        nm_count = nm_count + 1
+    maxseq = max(maxseq, tcpseq)
+
+SELECT 5tuple, nonmt GROUPBY 5tuple WHERE proto == 6
+`,
+		Description: "Count packet retransmissions and reorderings in each TCP stream.",
+		Linear:      false,
+		Result:      "_1",
+	},
+	{
+		Name: "Per-flow high latency packets",
+		Source: `const L = 1ms
+def sum_lat(lat, (tin, tout)): lat = lat + tout - tin
+R1 = SELECT pkt_uniq, 5tuple, sum_lat GROUPBY pkt_uniq, 5tuple
+R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE lat > L
+`,
+		Description: "Count packets with high end-to-end latency per flow.",
+		Linear:      true,
+		Result:      "R2",
+	},
+	{
+		Name: "Per-flow loss rate",
+		Source: `R1 = SELECT COUNT GROUPBY 5tuple
+R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
+R3 = SELECT R2.count / R1.count AS lossrate FROM R1 JOIN R2 ON 5tuple
+`,
+		Description: "Determine loss rates per flow.",
+		Linear:      true,
+		Result:      "R3",
+	},
+	{
+		Name: "High 99th percentile queue size",
+		Source: `const K = 20000
+def perc((tot, high), qin):
+    if qin > K:
+        high = high + 1
+    tot = tot + 1
+
+R1 = SELECT qid, perc GROUPBY qid
+R2 = SELECT * FROM R1 WHERE perc.high / perc.tot > 0.01
+`,
+		Description: "Identify queues with a 99th percentile queue size higher than a threshold K.",
+		Linear:      true,
+		Result:      "R2",
+	},
+}
+
+// ByName returns the Fig. 2 example with the given name, or nil.
+func ByName(name string) *Example {
+	for i := range Fig2 {
+		if Fig2[i].Name == name {
+			return &Fig2[i]
+		}
+	}
+	return nil
+}

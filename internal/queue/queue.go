@@ -1,0 +1,119 @@
+// Package queue models a switch output queue: a fixed-capacity FIFO
+// drained at line rate with tail drop. It produces exactly the
+// performance metadata of the record schema — enqueue/dequeue timestamps
+// and the queue depth seen on arrival and departure — and assigns
+// tout = Infinity to drops, per §2 of the paper.
+//
+// The model is fluid: rather than tracking individual buffered packets,
+// the queue tracks the time at which its backlog drains (busyUntil), from
+// which depth at any time follows. Packets must be offered in
+// non-decreasing time order.
+package queue
+
+import (
+	"fmt"
+
+	"perfq/internal/trace"
+)
+
+// Queue is one FIFO with deterministic service.
+type Queue struct {
+	id       trace.QueueID
+	rateBps  float64 // drain rate in bits/s
+	capBytes int     // tail-drop threshold
+
+	busyUntil int64 // ns: when the current backlog finishes transmitting
+	lastT     int64
+
+	enqueued uint64
+	dropped  uint64
+	maxDepth int
+}
+
+// New creates a queue. rateBps is the drain rate in bits per second and
+// capBytes the buffer size.
+func New(id trace.QueueID, rateBps float64, capBytes int) *Queue {
+	if rateBps <= 0 {
+		panic("queue: non-positive rate")
+	}
+	return &Queue{id: id, rateBps: rateBps, capBytes: capBytes}
+}
+
+// ID returns the queue identifier.
+func (q *Queue) ID() trace.QueueID { return q.id }
+
+// DepthBytes returns the backlog in bytes at time t (ns).
+func (q *Queue) DepthBytes(t int64) int {
+	if q.busyUntil <= t {
+		return 0
+	}
+	return int(float64(q.busyUntil-t) * q.rateBps / 8e9)
+}
+
+// Offer enqueues a packet of size bytes arriving at time t (ns ≥ any
+// previous offer). It fills the performance metadata of rec: QID, Tin,
+// Tout (Infinity on tail drop), QSizeIn and QSizeOut. It returns the
+// departure time and false if the packet was dropped.
+func (q *Queue) Offer(t int64, size int, rec *trace.Record) (depart int64, ok bool) {
+	if t < q.lastT {
+		panic(fmt.Sprintf("queue %v: time went backwards (%d < %d)", q.id, t, q.lastT))
+	}
+	q.lastT = t
+	depth := q.DepthBytes(t)
+	if depth > q.maxDepth {
+		q.maxDepth = depth
+	}
+
+	rec.QID = q.id
+	rec.Tin = t
+	rec.QSizeIn = uint32(depth)
+
+	if q.capBytes > 0 && depth+size > q.capBytes {
+		q.dropped++
+		rec.Tout = trace.Infinity
+		rec.QSizeOut = 0
+		return 0, false
+	}
+
+	start := q.busyUntil
+	if start < t {
+		start = t
+	}
+	txNs := int64(float64(size) * 8e9 / q.rateBps)
+	if txNs < 1 {
+		txNs = 1
+	}
+	depart = start + txNs
+	q.busyUntil = depart
+	q.enqueued++
+
+	// Depth when this packet departs, given arrivals known so far: the
+	// bytes scheduled behind it (none yet) — i.e. zero — plus nothing;
+	// report the residual backlog the packet leaves in front of later
+	// arrivals, which is 0 from its own perspective. Use the depth just
+	// after enqueue drained to depart time for a plausible qout.
+	rec.Tout = depart
+	rec.QSizeOut = uint32(q.DepthBytes(depart))
+	return depart, true
+}
+
+// Stats summarizes queue activity.
+type Stats struct {
+	Enqueued uint64
+	Dropped  uint64
+	MaxDepth int
+}
+
+// Stats returns counters.
+func (q *Queue) Stats() Stats {
+	return Stats{Enqueued: q.enqueued, Dropped: q.dropped, MaxDepth: q.maxDepth}
+}
+
+// DropRate returns dropped/(dropped+enqueued).
+func (s Stats) DropRate() float64 {
+	total := s.Enqueued + s.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(total)
+}

@@ -1,0 +1,99 @@
+package queue
+
+import (
+	"testing"
+
+	"perfq/internal/trace"
+)
+
+const gbps = 1e9
+
+func TestEmptyQueueForwardsAtLineRate(t *testing.T) {
+	q := New(trace.MakeQueueID(1, 0), 10*gbps, 1<<20)
+	var rec trace.Record
+	depart, ok := q.Offer(1000, 1250, &rec) // 1250B at 10 Gb/s = 1 µs
+	if !ok {
+		t.Fatal("dropped on empty queue")
+	}
+	if want := int64(1000 + 1000); depart != want {
+		t.Errorf("depart = %d, want %d", depart, want)
+	}
+	if rec.Tin != 1000 || rec.Tout != depart || rec.QSizeIn != 0 {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestBacklogBuildsAndDrains(t *testing.T) {
+	q := New(trace.MakeQueueID(1, 1), 8*gbps, 1<<20) // 1 byte/ns
+	var rec trace.Record
+	// Three back-to-back 1000B packets at t=0: each takes 1000 ns.
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Offer(0, 1000, &rec); !ok {
+			t.Fatal("unexpected drop")
+		}
+	}
+	if rec.Tin != 0 || rec.Tout != 3000 {
+		t.Errorf("third packet: tin=%d tout=%d, want 0/3000", rec.Tin, rec.Tout)
+	}
+	if rec.QSizeIn != 2000 {
+		t.Errorf("third packet saw depth %d, want 2000", rec.QSizeIn)
+	}
+	// After draining, depth returns to zero.
+	if d := q.DepthBytes(3000); d != 0 {
+		t.Errorf("depth at drain time = %d", d)
+	}
+	if d := q.DepthBytes(1500); d != 1500 {
+		t.Errorf("depth mid-drain = %d, want 1500", d)
+	}
+}
+
+func TestTailDropSetsInfinity(t *testing.T) {
+	q := New(trace.MakeQueueID(2, 0), 8*gbps, 2500)
+	var rec trace.Record
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Offer(0, 1000, &rec); !ok {
+			t.Fatalf("packet %d dropped below capacity", i)
+		}
+	}
+	_, ok := q.Offer(0, 1000, &rec)
+	if ok {
+		t.Fatal("third packet admitted above capacity")
+	}
+	if !rec.Dropped() || rec.Tout != trace.Infinity {
+		t.Errorf("drop record = %+v", rec)
+	}
+	st := q.Stats()
+	if st.Dropped != 1 || st.Enqueued != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.DropRate() != 1.0/3 {
+		t.Errorf("drop rate = %v", st.DropRate())
+	}
+	// Once drained, new packets are admitted again.
+	if _, ok := q.Offer(10000, 1000, &rec); !ok {
+		t.Error("packet dropped after drain")
+	}
+}
+
+func TestTimeMonotonicityEnforced(t *testing.T) {
+	q := New(trace.MakeQueueID(3, 0), gbps, 1<<20)
+	var rec trace.Record
+	q.Offer(5000, 100, &rec)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Offer did not panic")
+		}
+	}()
+	q.Offer(4000, 100, &rec)
+}
+
+func TestMaxDepthTracked(t *testing.T) {
+	q := New(trace.MakeQueueID(4, 0), 8*gbps, 1<<20)
+	var rec trace.Record
+	for i := 0; i < 10; i++ {
+		q.Offer(0, 1000, &rec)
+	}
+	if st := q.Stats(); st.MaxDepth < 8000 {
+		t.Errorf("max depth = %d, want ≥ 8000", st.MaxDepth)
+	}
+}

@@ -1,0 +1,261 @@
+// Package switchsim models the switch side of the co-design: a
+// programmable parser feeding a match-action pipeline whose stateful
+// stage is the programmable key-value store of §3.
+//
+// For every compiled SwitchProgram the datapath instantiates an on-chip
+// cache (internal/kvstore) wired to a backing store (internal/backing);
+// WHERE predicates execute as the match part of a match-action entry,
+// GROUPBY key extraction as the action, and one initialize-or-update per
+// packet as the stateful ALU operation. Plain SELECT stages over T are
+// realized the way real switches do it — match and mirror matching
+// records to the collector.
+//
+// The simulation operates on trace.Records rather than raw bytes (the
+// parser stage is exercised by internal/packet); timing is not modeled
+// beyond the one-update-per-packet constraint, which matches the paper's
+// own evaluation methodology.
+package switchsim
+
+import (
+	"fmt"
+	"io"
+
+	"perfq/internal/backing"
+	"perfq/internal/compiler"
+	"perfq/internal/exec"
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+// Config configures the datapath.
+type Config struct {
+	// Geometry is the cache layout used for every switch program.
+	// The zero value defaults to the paper's preferred point: an 8-way
+	// set-associative cache sized 2^18 pairs (32 Mbit at 128 bits/pair).
+	Geometry kvstore.Geometry
+	// DisableExactMerge turns off the linear-in-state merge machinery
+	// even for linear folds (evictions then degrade to epoch semantics) —
+	// the ablation knob for the paper's central mechanism.
+	DisableExactMerge bool
+	// OnEvict, when set, observes every eviction of every program (after
+	// the backing store has consumed it).
+	OnEvict func(prog int, ev *kvstore.Eviction)
+}
+
+// progState is one physical key-value store instance.
+type progState struct {
+	sp    *compiler.SwitchProgram
+	cache kvstore.Cache
+	store *backing.Store
+	// keyVals records component values for digest-mode keys (hardware
+	// would use wider key SRAM; see DESIGN.md).
+	keyVals map[packet.Key128][]float64
+	exact   bool
+}
+
+// Datapath executes a plan's switch-resident stages.
+type Datapath struct {
+	plan    *compiler.Plan
+	progs   []*progState
+	selects map[string][][]float64 // mirrored rows of select-over-T stages
+	packets uint64
+}
+
+// New builds a datapath for the plan.
+func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
+	if cfg.Geometry == (kvstore.Geometry{}) {
+		cfg.Geometry = kvstore.SetAssociative(1<<18, 8)
+	}
+	d := &Datapath{plan: plan, selects: map[string][][]float64{}}
+	for i, sp := range plan.Programs {
+		ps := &progState{
+			sp:    sp,
+			store: backing.New(sp.Fold),
+			exact: sp.Fold.Merge == fold.MergeLinear && !cfg.DisableExactMerge,
+		}
+		if !sp.Key.Packed {
+			ps.keyVals = map[packet.Key128][]float64{}
+		}
+		idx := i
+		cache, err := kvstore.New(kvstore.Config{
+			Geometry:   cfg.Geometry,
+			Fold:       sp.Fold,
+			ExactMerge: ps.exact,
+			OnEvict: func(ev *kvstore.Eviction) {
+				ps.store.HandleEviction(ev)
+				if cfg.OnEvict != nil {
+					cfg.OnEvict(idx, ev)
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("switchsim: program %d: %w", i, err)
+		}
+		ps.cache = cache
+		d.progs = append(d.progs, ps)
+	}
+	return d, nil
+}
+
+// Process applies one packet observation to every switch-resident stage.
+func (d *Datapath) Process(rec *trace.Record) {
+	d.packets++
+	in := fold.Input{Rec: rec}
+
+	// Mirror matching records for select-over-T stages.
+	for _, st := range d.plan.Stages {
+		if st.Kind != compiler.KindSelect || st.Input != nil {
+			continue
+		}
+		if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+			continue
+		}
+		row := make([]float64, len(st.Cols))
+		for i, c := range st.Cols {
+			row[i] = fold.EvalExpr(c, &in, nil)
+		}
+		d.selects[st.Name] = append(d.selects[st.Name], row)
+	}
+
+	// Key-value store programs. A record enters a program's store if it
+	// matches any member's guard; the fused fold's internal guards keep
+	// per-member state exact.
+	for _, ps := range d.progs {
+		if !d.anyMemberMatches(ps.sp, &in) {
+			continue
+		}
+		nk := ps.sp.Key.NumComponents()
+		var kv [8]float64
+		ps.sp.Key.Values(rec, kv[:nk])
+		key := ps.sp.Key.Pack(kv[:nk])
+		if ps.keyVals != nil {
+			if _, ok := ps.keyVals[key]; !ok {
+				ps.keyVals[key] = append([]float64(nil), kv[:nk]...)
+			}
+		}
+		ps.cache.Process(key, &in)
+	}
+}
+
+// anyMemberMatches evaluates the per-member match predicates.
+func (d *Datapath) anyMemberMatches(sp *compiler.SwitchProgram, in *fold.Input) bool {
+	for _, st := range sp.Members {
+		if st.Where == nil || fold.EvalPred(st.Where, in, nil) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run streams a whole source and flushes.
+func (d *Datapath) Run(src trace.Source) error {
+	var rec trace.Record
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		d.Process(&rec)
+	}
+	d.Flush()
+	return nil
+}
+
+// Flush evicts all cache-resident entries into the backing stores (end of
+// a measurement window, or the paper's periodic refresh).
+func (d *Datapath) Flush() {
+	for _, ps := range d.progs {
+		ps.cache.Flush()
+	}
+}
+
+// Tables materializes every switch-resident stage's result from the
+// backing stores (call Flush first). For programs whose fold is not
+// mergeable, only valid (single-epoch) keys appear — the accuracy
+// semantics of §3.2.
+func (d *Datapath) Tables() map[string]*exec.Table {
+	out := map[string]*exec.Table{}
+	for name, rows := range d.selects {
+		st := d.plan.ByName[name]
+		t := &exec.Table{Schema: st.Schema, Rows: rows}
+		t.Sort()
+		out[name] = t
+	}
+	for _, ps := range d.progs {
+		nk := ps.sp.Key.NumComponents()
+		memberRows := make([][][]float64, len(ps.sp.Members))
+		ps.store.Range(func(key packet.Key128, state []float64) bool {
+			var kv [8]float64
+			if ps.keyVals != nil {
+				copy(kv[:nk], ps.keyVals[key])
+			} else {
+				ps.sp.Key.Unpack(key, kv[:nk])
+			}
+			for mi, st := range ps.sp.Members {
+				if state[ps.sp.PresIdx[mi]] <= 0 {
+					continue // no record of this member's query saw the key
+				}
+				mstate := state[ps.sp.Offsets[mi] : ps.sp.Offsets[mi]+st.Fold.StateLen()]
+				memberRows[mi] = append(memberRows[mi], exec.GroupRow(st, kv[:nk], mstate))
+			}
+			return true
+		})
+		for mi, st := range ps.sp.Members {
+			t := &exec.Table{Schema: st.Schema, Rows: memberRows[mi]}
+			t.Sort()
+			out[st.Name] = t
+		}
+	}
+	return out
+}
+
+// Collect runs the collector: downstream stages evaluated over the
+// switch-materialized tables, returning every stage's table.
+func (d *Datapath) Collect() (map[string]*exec.Table, error) {
+	eng := exec.New(d.plan)
+	for name, t := range d.Tables() {
+		eng.SetTable(name, t)
+	}
+	return eng.Finish()
+}
+
+// Stats reports per-program cache statistics.
+func (d *Datapath) Stats() []kvstore.Stats {
+	out := make([]kvstore.Stats, len(d.progs))
+	for i, ps := range d.progs {
+		out[i] = ps.cache.Stats()
+	}
+	return out
+}
+
+// StoreStats reports per-program backing-store statistics.
+func (d *Datapath) StoreStats() []backing.Stats {
+	out := make([]backing.Stats, len(d.progs))
+	for i, ps := range d.progs {
+		out[i] = ps.store.Stats()
+	}
+	return out
+}
+
+// Accuracy returns (valid, total) key counts for program i — Figure 6's
+// metric for non-mergeable folds.
+func (d *Datapath) Accuracy(i int) (valid, total int) {
+	return d.progs[i].store.Accuracy()
+}
+
+// RunPlan is the one-call pipeline: datapath over src, then the collector.
+func RunPlan(plan *compiler.Plan, src trace.Source, cfg Config) (map[string]*exec.Table, error) {
+	d, err := New(plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Run(src); err != nil {
+		return nil, err
+	}
+	return d.Collect()
+}

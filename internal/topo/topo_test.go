@@ -1,0 +1,114 @@
+package topo
+
+import (
+	"testing"
+
+	"perfq/internal/packet"
+)
+
+func TestLeafSpineStructure(t *testing.T) {
+	tp := LeafSpine(4, 2, 8, Options{})
+	hosts := tp.Hosts()
+	if len(hosts) != 32 {
+		t.Fatalf("hosts: %d, want 32", len(hosts))
+	}
+	switches := 0
+	for _, n := range tp.Nodes {
+		if n.Kind == Switch {
+			switches++
+		}
+	}
+	if switches != 6 {
+		t.Fatalf("switches: %d, want 4+2", switches)
+	}
+	// Links: per host 2 (up+down) = 64; per leaf-spine pair 2×(4×2) = 16.
+	if len(tp.Links) != 64+16 {
+		t.Fatalf("links: %d, want 80", len(tp.Links))
+	}
+	// Every link must carry a distinct (From, QID) pair.
+	seen := map[[2]uint64]bool{}
+	for _, l := range tp.Links {
+		k := [2]uint64{uint64(l.From), uint64(l.QID)}
+		if seen[k] {
+			t.Fatalf("duplicate queue id %v on node %d", l.QID, l.From)
+		}
+		seen[k] = true
+	}
+}
+
+func TestHostAddressing(t *testing.T) {
+	tp := LeafSpine(2, 2, 4, Options{})
+	for _, h := range tp.Hosts() {
+		addr := tp.HostAddr(h)
+		back, ok := tp.HostByAddr(addr)
+		if !ok || back != h {
+			t.Fatalf("address round trip failed for host %d (%v)", h, addr)
+		}
+	}
+	if _, ok := tp.HostByAddr(packet.Addr4{1, 2, 3, 4}); ok {
+		t.Error("unknown address resolved")
+	}
+}
+
+func TestRouteIsShortestAndValid(t *testing.T) {
+	tp := LeafSpine(3, 2, 4, Options{})
+	hosts := tp.Hosts()
+	ft := packet.FiveTuple{SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+
+	// Same-leaf pair: host → leaf → host = 2 links.
+	p, err := tp.Route(hosts[0], hosts[1], ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 {
+		t.Errorf("same-leaf path length %d, want 2", len(p))
+	}
+	// Cross-leaf: 4 links.
+	p2, err := tp.Route(hosts[0], hosts[len(hosts)-1], ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) != 4 {
+		t.Errorf("cross-leaf path length %d, want 4", len(p2))
+	}
+	// Path continuity: each link starts where the previous ended.
+	cur := hosts[0]
+	for _, li := range p2 {
+		if tp.Links[li].From != cur {
+			t.Fatalf("discontinuous path at link %d", li)
+		}
+		cur = tp.Links[li].To
+	}
+	if cur != hosts[len(hosts)-1] {
+		t.Error("path does not reach destination")
+	}
+}
+
+func TestChainStructure(t *testing.T) {
+	tp := Chain(3, Options{})
+	hosts := tp.Hosts()
+	if len(hosts) != 2 {
+		t.Fatalf("chain hosts: %d", len(hosts))
+	}
+	ft := packet.FiveTuple{Proto: packet.ProtoUDP}
+	p, err := tp.Route(hosts[0], hosts[1], ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 {
+		t.Errorf("chain path length %d, want 4 (NIC + 3 switches)", len(p))
+	}
+	// And the reverse direction works too.
+	if _, err := tp.Route(hosts[1], hosts[0], ft); err != nil {
+		t.Errorf("reverse route: %v", err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	tp := LeafSpine(1, 1, 1, Options{})
+	for _, l := range tp.Links {
+		if l.RateBps <= 0 || l.BufBytes <= 0 || l.PropDelayNs <= 0 {
+			t.Fatalf("link with zero defaults: %+v", l)
+		}
+	}
+}

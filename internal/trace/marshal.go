@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"encoding/binary"
+
+	"perfq/internal/packet"
+)
+
+// RecordSize is the fixed binary encoding size of a Record.
+const RecordSize = recordSize
+
+// MarshalRecord encodes rec into b (len ≥ RecordSize) in the pqt record
+// layout, shared by the file format and the netstore wire protocol.
+func MarshalRecord(b []byte, rec *Record) {
+	copy(b[0:4], rec.SrcIP[:])
+	copy(b[4:8], rec.DstIP[:])
+	binary.LittleEndian.PutUint16(b[8:10], rec.SrcPort)
+	binary.LittleEndian.PutUint16(b[10:12], rec.DstPort)
+	b[12] = byte(rec.Proto)
+	b[13] = rec.TCPFlags
+	binary.LittleEndian.PutUint16(b[14:16], 0)
+	binary.LittleEndian.PutUint32(b[16:20], rec.PktLen)
+	binary.LittleEndian.PutUint32(b[20:24], rec.PayloadLen)
+	binary.LittleEndian.PutUint32(b[24:28], rec.TCPSeq)
+	binary.LittleEndian.PutUint32(b[28:32], uint32(rec.QID))
+	binary.LittleEndian.PutUint64(b[32:40], rec.PktUniq)
+	binary.LittleEndian.PutUint64(b[40:48], uint64(rec.Tin))
+	binary.LittleEndian.PutUint64(b[48:56], uint64(rec.Tout))
+	binary.LittleEndian.PutUint32(b[56:60], rec.QSizeIn)
+	binary.LittleEndian.PutUint32(b[60:64], rec.QSizeOut&0xffffff|rec.Path<<24)
+}
+
+// UnmarshalRecord decodes a record previously written by MarshalRecord.
+func UnmarshalRecord(b []byte, rec *Record) {
+	copy(rec.SrcIP[:], b[0:4])
+	copy(rec.DstIP[:], b[4:8])
+	rec.SrcPort = binary.LittleEndian.Uint16(b[8:10])
+	rec.DstPort = binary.LittleEndian.Uint16(b[10:12])
+	rec.Proto = packet.Proto(b[12])
+	rec.TCPFlags = b[13]
+	rec.PktLen = binary.LittleEndian.Uint32(b[16:20])
+	rec.PayloadLen = binary.LittleEndian.Uint32(b[20:24])
+	rec.TCPSeq = binary.LittleEndian.Uint32(b[24:28])
+	rec.QID = QueueID(binary.LittleEndian.Uint32(b[28:32]))
+	rec.PktUniq = binary.LittleEndian.Uint64(b[32:40])
+	rec.Tin = int64(binary.LittleEndian.Uint64(b[40:48]))
+	rec.Tout = int64(binary.LittleEndian.Uint64(b[48:56]))
+	rec.QSizeIn = binary.LittleEndian.Uint32(b[56:60])
+	last := binary.LittleEndian.Uint32(b[60:64])
+	rec.QSizeOut = last & 0xffffff
+	rec.Path = last >> 24
+}

@@ -1,0 +1,197 @@
+// Package tracegen synthesizes packet-observation traces with the
+// statistical structure that drives the paper's hardware evaluation: a
+// heavy-tailed flow size distribution, Poisson flow arrivals, and bursty
+// in-flow packet spacing. The paper evaluates on a proprietary CAIDA 2016
+// trace (157M packets, 3.8M five-tuples, ≈41 packets/flow); the WAN preset
+// here is calibrated to the same flows-per-packet ratio and skew so the
+// key-reference stream seen by the key-value store cache — the only thing
+// Figures 5 and 6 depend on — has the same character. Real captures can be
+// substituted via internal/pcap at any time.
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist is a one-dimensional sampling distribution.
+type Dist interface {
+	// Sample draws one value using r.
+	Sample(r *rand.Rand) float64
+	// Mean returns the analytic mean of the distribution.
+	Mean() float64
+}
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+// Exponential has density (1/M)·e^(-x/M).
+type Exponential struct{ M float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() * e.M }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.M }
+
+// Pareto is a bounded Pareto type-I distribution with scale Xm, shape
+// Alpha, and upper cutoff Cap (0 means uncapped). Heavy-tailed flow sizes —
+// the defining feature of Internet traffic mixes — come from here.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+	Cap   float64
+}
+
+// Sample implements Dist (inverse-CDF method).
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := p.Xm / math.Pow(u, 1/p.Alpha)
+	if p.Cap > 0 && v > p.Cap {
+		v = p.Cap
+	}
+	return v
+}
+
+// Mean implements Dist. For Alpha ≤ 1 the uncapped mean diverges; the
+// capped mean is reported when a cap is set, else +Inf.
+func (p Pareto) Mean() float64 {
+	if p.Cap <= 0 {
+		if p.Alpha <= 1 {
+			return math.Inf(1)
+		}
+		return p.Alpha * p.Xm / (p.Alpha - 1)
+	}
+	// E[min(X, c)] for Pareto(xm, a): for a != 1,
+	// = (a·xm - c·(xm/c)^a) / (a-1) ... derived by integrating the tail.
+	a, xm, c := p.Alpha, p.Xm, p.Cap
+	if c <= xm {
+		return c
+	}
+	if a == 1 {
+		return xm * (1 + math.Log(c/xm))
+	}
+	return (a*xm - c*math.Pow(xm/c, a)) / (a - 1)
+}
+
+// Lognormal has parameters Mu and Sigma of the underlying normal. Used for
+// in-flow packet gaps (bursty but never negative).
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample implements Dist.
+func (l Lognormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(r.NormFloat64()*l.Sigma + l.Mu)
+}
+
+// Mean implements Dist.
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// LognormalWithMean builds a Lognormal with the given mean and sigma.
+func LognormalWithMean(mean, sigma float64) Lognormal {
+	return Lognormal{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}
+}
+
+// Geometric is a discrete distribution on {1, 2, …} with success
+// probability 1/M (mean M). It models mouse-flow sizes.
+type Geometric struct{ M float64 }
+
+// Sample implements Dist.
+func (g Geometric) Sample(r *rand.Rand) float64 {
+	if g.M <= 1 {
+		return 1
+	}
+	p := 1 / g.M
+	// Inverse CDF of the geometric distribution.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return math.Max(1, math.Ceil(math.Log(u)/math.Log(1-p)))
+}
+
+// Mean implements Dist.
+func (g Geometric) Mean() float64 { return math.Max(1, g.M) }
+
+// Mixture samples from Components[i] with probability Weights[i]. Weights
+// need not be normalized.
+type Mixture struct {
+	Weights    []float64
+	Components []Dist
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(r *rand.Rand) float64 {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range m.Weights {
+		if u < w || i == len(m.Weights)-1 {
+			return m.Components[i].Sample(r)
+		}
+		u -= w
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+// Mean implements Dist.
+func (m Mixture) Mean() float64 {
+	total, acc := 0.0, 0.0
+	for i, w := range m.Weights {
+		total += w
+		acc += w * m.Components[i].Mean()
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / total
+}
+
+// PacketSizes is the trimodal Internet packet-size mix: small
+// (ACK/control), full MTU, and a uniform middle. Weights chosen so the
+// mean is close to the paper's 850-byte datacenter average.
+type PacketSizes struct {
+	SmallWeight float64 // 64-byte packets
+	LargeWeight float64 // 1500-byte packets
+	MidWeight   float64 // uniform in [200, 1400]
+}
+
+// DefaultPacketSizes yields a mean close to 850 bytes.
+func DefaultPacketSizes() PacketSizes {
+	// mean = (w64·64 + w1500·1500 + wmid·800)/Σw = 0.37·64 + 0.46·1500 +
+	// 0.17·800 ≈ 850.
+	return PacketSizes{SmallWeight: 0.37, LargeWeight: 0.46, MidWeight: 0.17}
+}
+
+// Sample draws a packet size in bytes (always ≥ 64, ≤ 1500).
+func (p PacketSizes) Sample(r *rand.Rand) int {
+	total := p.SmallWeight + p.LargeWeight + p.MidWeight
+	u := r.Float64() * total
+	switch {
+	case u < p.SmallWeight:
+		return 64
+	case u < p.SmallWeight+p.LargeWeight:
+		return 1500
+	default:
+		return 200 + r.Intn(1201)
+	}
+}
+
+// Mean returns the analytic mean packet size in bytes.
+func (p PacketSizes) Mean() float64 {
+	total := p.SmallWeight + p.LargeWeight + p.MidWeight
+	return (p.SmallWeight*64 + p.LargeWeight*1500 + p.MidWeight*800) / total
+}

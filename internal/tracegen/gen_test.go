@@ -1,0 +1,288 @@
+package tracegen
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+func testConfig() Config {
+	// The WAN preset is calibrated for minutes-long captures (long-lived
+	// flows); use a 2-minute window at reduced arrival rate to keep tests
+	// fast while staying in the calibrated regime.
+	c := WANConfig(42, 120*time.Second)
+	c.FlowRate = 60
+	return c
+}
+
+func drain(t *testing.T, g *Generator, max int) []trace.Record {
+	t.Helper()
+	var out []trace.Record
+	var rec trace.Record
+	for {
+		err := g.Next(&rec)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, rec)
+		if max > 0 && len(out) >= max {
+			return out
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := drain(t, New(testConfig()), 2000)
+	b := drain(t, New(testConfig()), 2000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	c2 := testConfig()
+	c2.Seed = 43
+	a := drain(t, New(testConfig()), 100)
+	b := drain(t, New(c2), 100)
+	same := 0
+	for i := range a {
+		if a[i].SrcIP == b[i].SrcIP {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestTimeOrdered(t *testing.T) {
+	recs := drain(t, New(testConfig()), 50000)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Tin < recs[i-1].Tin {
+			t.Fatalf("records out of order at %d: %d < %d", i, recs[i].Tin, recs[i-1].Tin)
+		}
+	}
+	if recs[len(recs)-1].Tin > testConfig().Duration.Nanoseconds() {
+		t.Error("record emitted past the horizon")
+	}
+}
+
+func TestPktUniqUnique(t *testing.T) {
+	recs := drain(t, New(testConfig()), 20000)
+	seen := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.PktUniq] {
+			t.Fatalf("duplicate PktUniq %d", r.PktUniq)
+		}
+		seen[r.PktUniq] = true
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	g := New(testConfig())
+	recs := drain(t, g, 0)
+	if len(recs) < 10000 {
+		t.Fatalf("only %d records generated", len(recs))
+	}
+
+	flows := make(map[packet.FiveTuple]int)
+	var tcp, bytes, drops int
+	for _, r := range recs {
+		flows[r.FlowKey()]++
+		if r.Proto == packet.ProtoTCP {
+			tcp++
+		}
+		bytes += int(r.PktLen)
+		if r.Dropped() {
+			drops++
+		}
+	}
+
+	pktsPerFlow := float64(len(recs)) / float64(len(flows))
+	// Heavy-tailed with window clipping: accept a generous band around
+	// the minutes-scale calibration target of ≈41 (a 2-minute window
+	// sits lower).
+	if pktsPerFlow < 8 || pktsPerFlow > 90 {
+		t.Errorf("pkts/flow = %.1f, want tens (8..90)", pktsPerFlow)
+	}
+
+	tcpFrac := float64(tcp) / float64(len(recs))
+	if tcpFrac < 0.70 || tcpFrac > 0.97 {
+		t.Errorf("TCP fraction = %.2f, want ≈0.85", tcpFrac)
+	}
+
+	meanSize := float64(bytes) / float64(len(recs))
+	if meanSize < 780 || meanSize > 920 {
+		t.Errorf("mean packet size = %.0f, want ≈850", meanSize)
+	}
+
+	if drops == 0 {
+		t.Error("no drops generated despite DropProb > 0")
+	}
+	if g.FlowsStarted() != int64(len(flows)) {
+		// Tuple collisions are possible but should be negligible.
+		if math.Abs(float64(g.FlowsStarted())-float64(len(flows))) > 2 {
+			t.Errorf("FlowsStarted=%d but %d unique tuples", g.FlowsStarted(), len(flows))
+		}
+	}
+}
+
+func TestTCPSeqAnomalies(t *testing.T) {
+	c := testConfig()
+	c.RetransmitProb = 0.05
+	c.ReorderProb = 0.02
+	recs := drain(t, New(c), 0)
+
+	// Count per-flow non-monotonic events the way the paper's query does.
+	type st struct{ maxSeq uint32 }
+	flows := make(map[packet.FiveTuple]*st)
+	nonMono, tcpPkts := 0, 0
+	for _, r := range recs {
+		if r.Proto != packet.ProtoTCP {
+			continue
+		}
+		tcpPkts++
+		k := r.FlowKey()
+		s := flows[k]
+		if s == nil {
+			s = &st{maxSeq: r.TCPSeq}
+			flows[k] = s
+			continue
+		}
+		if s.maxSeq > r.TCPSeq {
+			nonMono++
+		}
+		if r.TCPSeq > s.maxSeq {
+			s.maxSeq = r.TCPSeq
+		}
+	}
+	rate := float64(nonMono) / float64(tcpPkts)
+	if rate < 0.01 || rate > 0.15 {
+		t.Errorf("non-monotonic rate = %.3f, want around 0.05", rate)
+	}
+}
+
+func TestMaxPackets(t *testing.T) {
+	c := testConfig()
+	c.MaxPackets = 777
+	recs := drain(t, New(c), 0)
+	if len(recs) != 777 {
+		t.Errorf("MaxPackets: got %d records", len(recs))
+	}
+}
+
+func TestZeroFlowRate(t *testing.T) {
+	c := Config{Duration: time.Second, FlowRate: 0}
+	recs := drain(t, New(c), 0)
+	if len(recs) != 0 {
+		t.Errorf("zero flow rate produced %d records", len(recs))
+	}
+}
+
+func TestQueueMetadataPlausible(t *testing.T) {
+	recs := drain(t, New(testConfig()), 5000)
+	for i, r := range recs {
+		if r.Dropped() {
+			continue
+		}
+		if r.Tout <= r.Tin {
+			t.Fatalf("record %d: tout %d <= tin %d", i, r.Tout, r.Tin)
+		}
+		if r.QID != trace.MakeQueueID(1, 0) {
+			t.Fatalf("record %d: unexpected qid %v", i, r.QID)
+		}
+	}
+}
+
+func TestDistMeans(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	const n = 200000
+	check := func(name string, d Dist, tol float64) {
+		t.Helper()
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += d.Sample(r)
+		}
+		got := sum / n
+		want := d.Mean()
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s: empirical mean %.3f vs analytic %.3f", name, got, want)
+		}
+	}
+	check("Constant", Constant{V: 5}, 1e-12)
+	check("Exponential", Exponential{M: 3}, 0.02)
+	check("Lognormal", LognormalWithMean(0.012, 1.5), 0.05)
+	check("Geometric", Geometric{M: 4}, 0.02)
+	check("ParetoCapped", Pareto{Xm: 24, Alpha: 1.2, Cap: 60000}, 0.25)
+	check("ParetoUncapped", Pareto{Xm: 2, Alpha: 2.5}, 0.05)
+	check("Mixture", Mixture{
+		Weights:    []float64{0.7, 0.3},
+		Components: []Dist{Constant{V: 2}, Constant{V: 10}},
+	}, 0.01)
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	p := Pareto{Xm: 5, Alpha: 1.1, Cap: 100}
+	for i := 0; i < 10000; i++ {
+		v := p.Sample(r)
+		if v < 5 || v > 100 {
+			t.Fatalf("Pareto sample %f out of [5,100]", v)
+		}
+	}
+}
+
+func TestGeometricAtLeastOne(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := Geometric{M: 1.5}
+	for i := 0; i < 10000; i++ {
+		if g.Sample(r) < 1 {
+			t.Fatal("Geometric sample < 1")
+		}
+	}
+}
+
+func TestPacketSizesMean(t *testing.T) {
+	ps := DefaultPacketSizes()
+	if m := ps.Mean(); math.Abs(m-850) > 15 {
+		t.Errorf("default packet size mean = %.1f, want ≈850", m)
+	}
+	r := rand.New(rand.NewSource(12))
+	sum := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s := ps.Sample(r)
+		if s < 64 || s > 1500 {
+			t.Fatalf("packet size %d out of range", s)
+		}
+		sum += s
+	}
+	if got := float64(sum) / n; math.Abs(got-ps.Mean())/ps.Mean() > 0.02 {
+		t.Errorf("empirical size mean %.1f vs analytic %.1f", got, ps.Mean())
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	c := WANConfig(1, time.Hour)
+	g := New(c)
+	var rec trace.Record
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Next(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package perfq
+
+import (
+	"fmt"
+
+	"perfq/internal/fold"
+	"perfq/internal/netstore"
+)
+
+// BackingServer is a standalone TCP backing store serving the query's
+// switch-resident aggregation — the scale-out half of §3.2's split
+// key-value store, playing the role the paper assigns to Memcached/Redis.
+type BackingServer struct {
+	srv *netstore.Server
+	f   *fold.Func
+}
+
+// ServeBackingStore starts a TCP backing store for the query's first
+// switch program on addr (use ":0" for an ephemeral port).
+func (q *Query) ServeBackingStore(addr string) (*BackingServer, error) {
+	if len(q.plan.Programs) == 0 {
+		return nil, fmt.Errorf("perfq: query has no switch-resident aggregation to back")
+	}
+	f := q.plan.Programs[0].Fold
+	srv, err := netstore.NewServer(addr, f)
+	if err != nil {
+		return nil, err
+	}
+	return &BackingServer{srv: srv, f: f}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *BackingServer) Addr() string { return s.srv.Addr() }
+
+// StateLen returns the state vector width the server expects.
+func (s *BackingServer) StateLen() int { return s.f.StateLen() }
+
+// MergeKind names the reconciliation behaviour (linear/assoc/none).
+func (s *BackingServer) MergeKind() string { return s.f.Merge.String() }
+
+// StatsLine summarizes the store for logs.
+func (s *BackingServer) StatsLine() string {
+	st := s.srv.Store().Stats()
+	valid, total := s.srv.Store().Accuracy()
+	return fmt.Sprintf("keys=%d merges=%d appends=%d valid=%d/%d",
+		st.Keys, st.Merges, st.Appends, valid, total)
+}
+
+// Close stops the server.
+func (s *BackingServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,298 @@
+// Package perfq is a performance-query system for network telemetry,
+// reproducing "Hardware-Software Co-Design for Network Performance
+// Measurement" (HotNets 2016): a declarative SQL-like language over
+// per-packet, per-queue performance records, compiled onto a switch
+// datapath built around a programmable key-value store — an on-chip cache
+// merged exactly into an off-chip backing store for every aggregation
+// that is linear in state.
+//
+// Quick start:
+//
+//	q, err := perfq.Compile(`
+//	    def ewma(lat_est, (tin, tout)):
+//	        lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+//	    const alpha = 0.125
+//	    SELECT 5tuple, ewma GROUPBY 5tuple
+//	`)
+//	res, err := q.Run(perfq.WANTrace(1, 30*time.Second))
+//	res.Table("_1").Format(os.Stdout, 10)
+//
+// The packages under internal/ implement the substrates: the fold VM and
+// linear-in-state analysis, the cache geometries of Figure 4, the
+// backing-store merge of §3.2, a queue-level network simulator that
+// produces the record schema, and the experiment harness that regenerates
+// the paper's figures (see DESIGN.md and EXPERIMENTS.md).
+package perfq
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"perfq/internal/compiler"
+	"perfq/internal/exec"
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+	"perfq/internal/lang"
+	"perfq/internal/switchsim"
+	"perfq/internal/trace"
+	"perfq/internal/tracegen"
+)
+
+// Record is one packet observation at one queue — the row type of the
+// abstract table T that queries range over.
+type Record = trace.Record
+
+// Source yields records in time order.
+type Source = trace.Source
+
+// Infinity is the tout value of dropped packets; the query literal
+// "infinity" matches it.
+const Infinity = trace.Infinity
+
+// Query is a compiled query program.
+type Query struct {
+	checked *lang.Checked
+	plan    *compiler.Plan
+}
+
+// Compile parses, checks and compiles a query program.
+func Compile(src string) (*Query, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	chk, err := lang.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := compiler.Compile(chk)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{checked: chk, plan: plan}, nil
+}
+
+// MustCompile is Compile for known-good sources; it panics on error.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(fmt.Sprintf("perfq.MustCompile: %v", err))
+	}
+	return q
+}
+
+// Plan exposes the compiled plan (stage DAG, switch programs).
+func (q *Query) Plan() *compiler.Plan { return q.plan }
+
+// Results names the query's result stages (DAG sinks).
+func (q *Query) Results() []string {
+	out := make([]string, len(q.plan.Results))
+	for i, st := range q.plan.Results {
+		out[i] = st.Name
+	}
+	return out
+}
+
+// LinearInState reports whether every switch-resident aggregation is
+// linear in state — the paper's condition for exact merging (Figure 2's
+// last column, per query).
+func (q *Query) LinearInState() bool {
+	for _, sp := range q.plan.Programs {
+		if sp.Fold.Merge != fold.MergeLinear {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe prints a human-readable compilation report: stages, physical
+// key-value stores after fusion, key layouts, fold programs and merge
+// classes.
+func (q *Query) Describe(w io.Writer) {
+	fmt.Fprintf(w, "stages:\n")
+	for _, st := range q.plan.Stages {
+		loc := "collector"
+		if st.OnSwitch {
+			loc = "switch"
+		}
+		fmt.Fprintf(w, "  %-8s %-7s on %-9s columns=%v\n", st.Name, st.Kind, loc, st.Schema)
+	}
+	fmt.Fprintf(w, "switch key-value stores (%d):\n", len(q.plan.Programs))
+	for i, sp := range q.plan.Programs {
+		members := ""
+		for j, m := range sp.Members {
+			if j > 0 {
+				members += "+"
+			}
+			members += m.Name
+		}
+		fmt.Fprintf(w, "  store %d: members=%s %v state=%d words merge=%v\n",
+			i, members, sp.Key, sp.Fold.StateLen(), sp.Fold.Merge)
+		if sp.Fold.Merge == fold.MergeLinear && sp.Fold.Linear.NeedsFirstPacket {
+			fmt.Fprintf(w, "           (history fold: entries snapshot their first packet for merging)\n")
+		}
+		fmt.Fprintf(w, "           fold: %v\n", sp.Fold.Prog)
+	}
+}
+
+// RunOption configures Run.
+type RunOption func(*switchsim.Config)
+
+// WithCache sets the on-chip cache geometry (pairs total, ways per
+// bucket). ways = 0 selects fully associative; ways = 1 a plain hash
+// table. The default is the paper's preferred point: 2^18 pairs, 8-way
+// (32 Mbit at 128 bits per pair).
+func WithCache(pairs, ways int) RunOption {
+	return func(c *switchsim.Config) {
+		switch {
+		case ways <= 0:
+			c.Geometry = kvstore.FullyAssociative(pairs)
+		case ways == 1:
+			c.Geometry = kvstore.HashTable(pairs)
+		default:
+			c.Geometry = kvstore.SetAssociative(pairs, ways)
+		}
+	}
+}
+
+// WithoutExactMerge disables the linear-in-state merge machinery (the
+// ablation of §3.2: evictions degrade to per-epoch values).
+func WithoutExactMerge() RunOption {
+	return func(c *switchsim.Config) { c.DisableExactMerge = true }
+}
+
+// Run executes the query on the full co-designed datapath: switch-stage
+// aggregations run through the cache + backing-store pipeline, downstream
+// stages on the collector. It returns every stage's table.
+func (q *Query) Run(src Source, opts ...RunOption) (*Results, error) {
+	var cfg switchsim.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	dp, err := switchsim.New(q.plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dp.Run(src); err != nil {
+		return nil, err
+	}
+	tables, err := dp.Collect()
+	if err != nil {
+		return nil, err
+	}
+	stats := dp.Stats()
+	var evictions uint64
+	for _, s := range stats {
+		evictions += s.Evictions
+	}
+	valid, total := 1, 1
+	if len(q.plan.Programs) > 0 {
+		valid, total = dp.Accuracy(0)
+	}
+	return &Results{tables: tables, q: q, Evictions: evictions, ValidKeys: valid, TotalKeys: total}, nil
+}
+
+// GroundTruth executes the query with unbounded memory (no cache, no
+// merging) — the reference the datapath is validated against.
+func (q *Query) GroundTruth(src Source) (*Results, error) {
+	tables, err := exec.Run(q.plan, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{tables: tables, q: q}, nil
+}
+
+// Results holds the tables a run produced.
+type Results struct {
+	tables map[string]*exec.Table
+	q      *Query
+
+	// Evictions counts capacity evictions across all switch stores.
+	Evictions uint64
+	// ValidKeys/TotalKeys report backing-store accuracy for the first
+	// switch store (1/1 for ground truth or mergeable folds).
+	ValidKeys, TotalKeys int
+}
+
+// Table returns a stage's result by name (a named query like "R2", or
+// "_1" for the first anonymous query). Nil if absent.
+func (r *Results) Table(name string) *Table {
+	t, ok := r.tables[name]
+	if !ok {
+		return nil
+	}
+	return &Table{Schema: t.Schema, Rows: t.Rows}
+}
+
+// Result returns the query's primary result (its last DAG sink).
+func (r *Results) Result() *Table {
+	names := r.q.Results()
+	if len(names) == 0 {
+		return nil
+	}
+	return r.Table(names[len(names)-1])
+}
+
+// Table is a materialized result: named columns over float64 rows. Key
+// columns (IP addresses, ports, queue IDs, …) are exact integers stored
+// in float64.
+type Table struct {
+	Schema []string
+	Rows   [][]float64
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Format pretty-prints up to maxRows rows (0 = all).
+func (t *Table) Format(w io.Writer, maxRows int) {
+	for _, c := range t.Schema {
+		fmt.Fprintf(w, "%-16s", c)
+	}
+	fmt.Fprintln(w)
+	n := len(t.Rows)
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	for i := 0; i < n; i++ {
+		for j, v := range t.Rows[i] {
+			if isAddrColumn(t.Schema[j]) {
+				fmt.Fprintf(w, "%-16s", fmtAddr(v))
+			} else if v == float64(int64(v)) {
+				fmt.Fprintf(w, "%-16d", int64(v))
+			} else {
+				fmt.Fprintf(w, "%-16.4f", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if n < len(t.Rows) {
+		fmt.Fprintf(w, "… (%d more rows)\n", len(t.Rows)-n)
+	}
+}
+
+func isAddrColumn(name string) bool { return name == "srcip" || name == "dstip" }
+
+func fmtAddr(v float64) string {
+	u := uint32(int64(v))
+	return fmt.Sprintf("%d.%d.%d.%d", u>>24, u>>16&0xff, u>>8&0xff, u&0xff)
+}
+
+// WANTrace returns a deterministic CAIDA-like synthetic capture: Poisson
+// flow arrivals, heavy-tailed flow sizes, ~85% TCP (see
+// internal/tracegen).
+func WANTrace(seed int64, duration time.Duration) Source {
+	return tracegen.New(tracegen.WANConfig(seed, duration))
+}
+
+// DCTrace returns a datacenter-flavored synthetic capture with higher
+// incast pressure and drop rates.
+func DCTrace(seed int64, duration time.Duration) Source {
+	return tracegen.New(tracegen.DCConfig(seed, duration))
+}
+
+// Records adapts a slice to a Source.
+func Records(recs []Record) Source {
+	return &trace.SliceSource{Records: recs}
+}

@@ -1,0 +1,114 @@
+package perfq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"perfq/internal/queries"
+)
+
+func TestCompileAndDescribe(t *testing.T) {
+	q := MustCompile(queries.ByName("Per-flow loss rate").Source)
+	if !q.LinearInState() {
+		t.Error("loss rate should be linear in state")
+	}
+	if got := q.Results(); len(got) != 1 || got[0] != "R3" {
+		t.Errorf("Results = %v", got)
+	}
+	var buf bytes.Buffer
+	q.Describe(&buf)
+	for _, frag := range []string{"R1+R2", "merge=linear", "stages:", "join"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("Describe output missing %q:\n%s", frag, buf.String())
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("SELECT nosuch GROUPBY srcip"); err == nil {
+		t.Error("bad query compiled")
+	}
+	if _, err := Compile("((("); err == nil {
+		t.Error("garbage compiled")
+	}
+}
+
+func TestRunMatchesGroundTruthThroughFacade(t *testing.T) {
+	src := queries.ByName("Latency EWMA").Source
+	collect := func() []Record {
+		var recs []Record
+		s := DCTrace(3, 2*time.Second)
+		var r Record
+		for s.Next(&r) == nil {
+			recs = append(recs, r)
+		}
+		return recs
+	}
+	recs := collect()
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	q := MustCompile(src)
+	truth, err := q.GroundTruth(Records(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Run(Records(recs), WithCache(256, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, gt := truth.Result(), got.Result()
+	if tt.Len() == 0 || tt.Len() != gt.Len() {
+		t.Fatalf("rows: truth %d, datapath %d", tt.Len(), gt.Len())
+	}
+	if got.Evictions == 0 {
+		t.Error("tiny cache produced no evictions; facade options not applied")
+	}
+}
+
+func TestRunOptionAblation(t *testing.T) {
+	q := MustCompile("SELECT COUNT GROUPBY 5tuple")
+	res, err := q.Run(DCTrace(4, 2*time.Second), WithCache(128, 1), WithoutExactMerge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ValidKeys == res.TotalKeys {
+		t.Error("ablation left every key valid under churn")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		Schema: []string{"srcip", "count"},
+		Rows:   [][]float64{{3232235777, 42}, {167772161, 7}},
+	}
+	var buf bytes.Buffer
+	tab.Format(&buf, 1)
+	out := buf.String()
+	if !strings.Contains(out, "192.168.1.1") {
+		t.Errorf("address not rendered: %s", out)
+	}
+	if !strings.Contains(out, "more rows") {
+		t.Errorf("truncation marker missing: %s", out)
+	}
+}
+
+func TestResultsTableLookup(t *testing.T) {
+	q := MustCompile("R9 = SELECT COUNT GROUPBY qid")
+	res, err := q.Run(DCTrace(5, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table("R9") == nil {
+		t.Error("named table missing")
+	}
+	if res.Table("nope") != nil {
+		t.Error("phantom table")
+	}
+	if res.Result().Len() == 0 {
+		t.Error("qid count table empty")
+	}
+}
