@@ -1,0 +1,32 @@
+# perfq build/test/bench entry points. See EXPERIMENTS.md for how to
+# regenerate the paper's figures and read the scaling benchmarks.
+
+GO ?= go
+
+.PHONY: all build test race bench vet figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: what CI runs.
+test: build
+	$(GO) test ./...
+
+# The sharded datapath's concurrency contract under the race detector.
+race:
+	$(GO) test -race -run 'TestSharded|TestWithShards|TestPool' ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1s -run XXX .
+
+vet:
+	$(GO) vet ./...
+
+# The paper's evaluation at CI scale.
+figures:
+	$(GO) run ./cmd/evalhw -exp all
+
+clean:
+	$(GO) clean ./...

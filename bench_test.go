@@ -8,7 +8,9 @@ package perfq
 // measurements. See EXPERIMENTS.md for the full-scale reproduction runs.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -113,6 +115,38 @@ func BenchmarkFig2Queries(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(recs)), "records")
+		})
+	}
+}
+
+// BenchmarkShardedDatapath replays one trace through the full datapath at
+// shards ∈ {1, 2, 4, 8} and reports packets/sec — the scaling headline of
+// the sharded architecture. The configured cache is the same TOTAL
+// operating point at every shard count (WithShards splits it), so the
+// series isolates parallelism, not extra SRAM. Scaling tops out at
+// GOMAXPROCS (printed as the procs metric); on a single-core host all
+// shard counts collapse to roughly the serial rate plus routing overhead.
+func BenchmarkShardedDatapath(b *testing.B) {
+	cfg := tracegen.DCConfig(12, 4*time.Second)
+	cfg.DropProb = 0.005
+	recs, err := trace.Collect(tracegen.New(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustCompile(queries.ByName("Latency EWMA").Source)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			done := 0
+			b.ResetTimer()
+			for done < b.N {
+				if _, err := q.Run(Records(recs), WithCache(1<<14, 8), WithShards(shards)); err != nil {
+					b.Fatal(err)
+				}
+				done += len(recs)
+			}
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "pkts/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
 		})
 	}
 }

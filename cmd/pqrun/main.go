@@ -27,6 +27,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "synthetic trace seed")
 		pairs     = flag.Int("pairs", 1<<18, "cache capacity in key-value pairs")
 		ways      = flag.Int("ways", 8, "cache associativity (0 = full LRU, 1 = hash table)")
+		shards    = flag.Int("shards", 1, "parallel datapath shards (1 = serial)")
 		maxRows   = flag.Int("rows", 20, "rows to print per table (0 = all)")
 		truth     = flag.Bool("truth", false, "also run ground truth and report row agreement")
 	)
@@ -75,7 +76,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := q.Run(srcRecs, perfq.WithCache(*pairs, *ways))
+	res, err := q.Run(srcRecs, perfq.WithCache(*pairs, *ways), perfq.WithShards(*shards))
 	done()
 	if err != nil {
 		fail(err)
@@ -95,7 +96,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		tr, err := q.GroundTruth(srcRecs)
+		tr, err := q.GroundTruth(srcRecs, perfq.WithShards(*shards))
 		done()
 		if err != nil {
 			fail(err)

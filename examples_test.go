@@ -1,0 +1,113 @@
+package perfq
+
+// Smoke coverage for examples/: every query program embedded in an
+// example main (the backtick const blocks) must compile and run
+// end-to-end through the full datapath. The example binaries themselves
+// are compile-checked by `go build ./...`; this test exercises the query
+// sources so a language or compiler regression that breaks a shipped
+// example fails here, not in a user's terminal.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"perfq/internal/trace"
+)
+
+// exampleQuerySources parses one example's main.go and returns its
+// backtick string constants that look like query programs. Sources with
+// %d placeholders (thresholds bound at runtime, e.g. incast's HOTQ) are
+// instantiated with 1.
+func exampleQuerySources(t *testing.T, path string) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	out := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, val := range vs.Values {
+				lit, ok := val.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, "`") {
+					continue
+				}
+				src, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquote %s const %s: %v", path, vs.Names[i].Name, err)
+				}
+				if !strings.Contains(src, "SELECT") {
+					continue
+				}
+				if n := strings.Count(src, "%d"); n > 0 {
+					args := make([]any, n)
+					for j := range args {
+						args[j] = 1
+					}
+					src = fmt.Sprintf(src, args...)
+				}
+				out[vs.Names[i].Name] = src
+			}
+		}
+	}
+	return out
+}
+
+func TestExampleQueriesEndToEnd(t *testing.T) {
+	mains, err := filepath.Glob("examples/*/main.go")
+	if err != nil || len(mains) == 0 {
+		t.Fatalf("no example mains found: %v", err)
+	}
+	recs, err := trace.Collect(DCTrace(21, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range mains {
+		example := filepath.Base(filepath.Dir(path))
+		t.Run(example, func(t *testing.T) {
+			if _, err := os.Stat(path); err != nil {
+				t.Fatal(err)
+			}
+			srcs := exampleQuerySources(t, path)
+			if len(srcs) == 0 {
+				t.Fatalf("%s embeds no query sources", path)
+			}
+			for name, src := range srcs {
+				q, err := Compile(src)
+				if err != nil {
+					t.Fatalf("query %s does not compile: %v\n%s", name, err, src)
+				}
+				res, err := q.Run(Records(recs), WithCache(1<<12, 8))
+				if err != nil {
+					t.Fatalf("query %s does not run: %v", name, err)
+				}
+				for _, stage := range q.Results() {
+					if res.Table(stage) == nil {
+						t.Fatalf("query %s: result stage %s missing", name, stage)
+					}
+				}
+				// The sharded datapath must accept every example too.
+				if _, err := q.Run(Records(recs), WithCache(1<<12, 8), WithShards(4)); err != nil {
+					t.Fatalf("query %s does not run sharded: %v", name, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module perfq
+
+go 1.21

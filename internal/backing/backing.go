@@ -201,6 +201,13 @@ func (s *Store) Stats() Stats {
 	return Stats{Keys: len(s.keys), Merges: s.merges, Appends: s.appends}
 }
 
+// Add returns the field-wise sum of two counters. Shard-local stores
+// partition the key space, so summing Keys across shards is an exact
+// count, not an over-count.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Keys: s.Keys + o.Keys, Merges: s.Merges + o.Merges, Appends: s.Appends + o.Appends}
+}
+
 // String summarizes the store.
 func (s *Store) String() string {
 	return fmt.Sprintf("backing{fold=%s keys=%d merges=%d appends=%d}",

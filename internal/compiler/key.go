@@ -110,6 +110,16 @@ func (k *KeySpec) ValuesRow(row []float64, dst []float64) {
 	}
 }
 
+// Of extracts and packs a record's key in one step — the form routing
+// and partitioning code wants when it needs only the 128-bit key, not
+// the component values.
+func (k *KeySpec) Of(rec *trace.Record) packet.Key128 {
+	nk := k.NumComponents()
+	var kv [8]float64
+	k.Values(rec, kv[:nk])
+	return k.Pack(kv[:nk])
+}
+
 // Pack converts key component values into the cache key. Packed mode lays
 // components out at their natural widths; digest mode hashes the full
 // component vector into 16 bytes with two independent FNV-1a streams.

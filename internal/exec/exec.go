@@ -14,11 +14,13 @@ package exec
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"perfq/internal/compiler"
 	"perfq/internal/fold"
 	"perfq/internal/packet"
+	"perfq/internal/shard"
 	"perfq/internal/trace"
 )
 
@@ -28,13 +30,39 @@ type Table struct {
 	Rows   [][]float64
 }
 
-// Sort orders rows lexicographically for deterministic output.
+// cmpFloat is a total order over float64: NaN sorts before every other
+// value (and equal to itself). A comparator built on `a != b` is not
+// antisymmetric when NaN appears in rows (NaN != NaN, yet neither side
+// is smaller), which makes sort output depend on the input permutation —
+// fatal for the sharded datapath, whose merged tables must be
+// reproducible regardless of shard count.
+func cmpFloat(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Sort orders rows lexicographically (NaN smallest) for deterministic
+// output: any permutation of the same multiset of rows sorts to the same
+// sequence.
 func (t *Table) Sort() {
 	sort.Slice(t.Rows, func(i, j int) bool {
 		a, b := t.Rows[i], t.Rows[j]
 		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
+			if c := cmpFloat(a[k], b[k]); c != 0 {
+				return c < 0
 			}
 		}
 		return false
@@ -86,39 +114,49 @@ func (e *Engine) ProcessRecord(rec *trace.Record) {
 		}
 		switch st.Kind {
 		case compiler.KindSelect:
-			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
-				continue
-			}
-			row := make([]float64, len(st.Cols))
-			for i, c := range st.Cols {
-				row[i] = fold.EvalExpr(c, &in, nil)
-			}
-			e.srows[st.Name] = append(e.srows[st.Name], row)
+			e.processSelect(st, &in)
 		case compiler.KindGroup:
-			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
-				continue
-			}
-			g := e.groups[st.Name]
-			if g == nil {
-				g = map[packet.Key128]*groupEntry{}
-				e.groups[st.Name] = g
-			}
-			nk := st.Key.NumComponents()
-			var kv [8]float64
-			st.Key.Values(rec, kv[:nk])
-			key := st.Key.Pack(kv[:nk])
-			ent := g[key]
-			if ent == nil {
-				ent = &groupEntry{
-					keyVals: append([]float64(nil), kv[:nk]...),
-					state:   make([]float64, st.Fold.StateLen()),
-				}
-				st.Fold.Init(ent.state)
-				g[key] = ent
-			}
-			st.Fold.Update(ent.state, &in)
+			e.processGroup(st, rec, &in)
 		}
 	}
+}
+
+// processSelect streams one record through a select-over-T stage.
+func (e *Engine) processSelect(st *compiler.Stage, in *fold.Input) {
+	if st.Where != nil && !fold.EvalPred(st.Where, in, nil) {
+		return
+	}
+	row := make([]float64, len(st.Cols))
+	for i, c := range st.Cols {
+		row[i] = fold.EvalExpr(c, in, nil)
+	}
+	e.srows[st.Name] = append(e.srows[st.Name], row)
+}
+
+// processGroup streams one record through a group-over-T stage.
+func (e *Engine) processGroup(st *compiler.Stage, rec *trace.Record, in *fold.Input) {
+	if st.Where != nil && !fold.EvalPred(st.Where, in, nil) {
+		return
+	}
+	g := e.groups[st.Name]
+	if g == nil {
+		g = map[packet.Key128]*groupEntry{}
+		e.groups[st.Name] = g
+	}
+	nk := st.Key.NumComponents()
+	var kv [8]float64
+	st.Key.Values(rec, kv[:nk])
+	key := st.Key.Pack(kv[:nk])
+	ent := g[key]
+	if ent == nil {
+		ent = &groupEntry{
+			keyVals: append([]float64(nil), kv[:nk]...),
+			state:   make([]float64, st.Fold.StateLen()),
+		}
+		st.Fold.Init(ent.state)
+		g[key] = ent
+	}
+	st.Fold.Update(ent.state, in)
 }
 
 // Finish materializes every remaining stage in order and returns all
@@ -299,4 +337,83 @@ func Run(plan *compiler.Plan, src trace.Source) (map[string]*Table, error) {
 		e.ProcessRecord(&rec)
 	}
 	return e.Finish()
+}
+
+// RunParallel evaluates the plan over a source with unbounded memory
+// across n hash-partitioned workers: each over-T GROUPBY stage's records
+// are routed by grouping key (internal/shard), so per-worker group
+// tables are disjoint and merge by concatenation; select-over-T rows are
+// spread round-robin and merged as a multiset. Derived stages and joins
+// run once over the merged (sorted) tables, exactly as the collector
+// does, which makes the output byte-identical to Run for every plan.
+func RunParallel(plan *compiler.Plan, src trace.Source, n int) (map[string]*Table, error) {
+	var groupStgs, selectStgs []*compiler.Stage
+	for _, st := range plan.Stages {
+		if st.Input != nil || st.Kind == compiler.KindJoin {
+			continue
+		}
+		switch st.Kind {
+		case compiler.KindGroup:
+			groupStgs = append(groupStgs, st)
+		case compiler.KindSelect:
+			selectStgs = append(selectStgs, st)
+		}
+	}
+	if n <= 1 || len(groupStgs)+1 > shard.MaxTargets {
+		return Run(plan, src)
+	}
+
+	workers := make([]*Engine, n)
+	for i := range workers {
+		workers[i] = New(plan)
+	}
+	keyed := make([]shard.KeyFunc, len(groupStgs))
+	for i, st := range groupStgs {
+		keyed[i] = st.Key.Of
+	}
+	var freeMask uint64
+	if len(selectStgs) > 0 {
+		freeMask = 1 << uint(len(groupStgs))
+	}
+	_, err := shard.Run(shard.Config{Shards: n, Keyed: keyed, FreeMask: freeMask}, src,
+		func(s int, rec *trace.Record, mask uint64) {
+			w := workers[s]
+			in := fold.Input{Rec: rec}
+			if mask&freeMask != 0 {
+				for _, st := range selectStgs {
+					w.processSelect(st, &in)
+				}
+			}
+			for i, st := range groupStgs {
+				if mask&(1<<uint(i)) != 0 {
+					w.processGroup(st, rec, &in)
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge the disjoint per-worker partials, then evaluate the derived
+	// stages once over the merged tables (the collector's own path).
+	final := New(plan)
+	for _, st := range groupStgs {
+		var rows [][]float64
+		for _, w := range workers {
+			rows = append(rows, materializeGroup(st, w.groups[st.Name])...)
+		}
+		t := &Table{Schema: st.Schema, Rows: rows}
+		t.Sort()
+		final.SetTable(st.Name, t)
+	}
+	for _, st := range selectStgs {
+		var rows [][]float64
+		for _, w := range workers {
+			rows = append(rows, w.srows[st.Name]...)
+		}
+		t := &Table{Schema: st.Schema, Rows: rows}
+		t.Sort()
+		final.SetTable(st.Name, t)
+	}
+	return final.Finish()
 }

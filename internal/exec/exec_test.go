@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math"
 	"testing"
 
 	"perfq/internal/compiler"
@@ -120,6 +121,84 @@ func TestTableSortDeterministic(t *testing.T) {
 	for i := range want {
 		if tab.Rows[i][0] != want[i][0] || tab.Rows[i][1] != want[i][1] {
 			t.Fatalf("sorted: %v", tab.Rows)
+		}
+	}
+}
+
+// TestTableSortTotalWithNaN pins the total-order contract: NaN sorts
+// smallest and every permutation of the same rows sorts identically —
+// the property the sharded merge depends on. The old `a != b`
+// comparator was not antisymmetric under NaN, so sort output depended
+// on the input permutation.
+func TestTableSortTotalWithNaN(t *testing.T) {
+	nan := math.NaN()
+	rows := [][]float64{{1, nan}, {nan, 2}, {1, 3}, {nan, 1}, {0, 5}, {1, nan}}
+	perm := func(order []int) *Table {
+		tab := &Table{Rows: make([][]float64, len(order))}
+		for i, j := range order {
+			tab.Rows[i] = rows[j]
+		}
+		tab.Sort()
+		return tab
+	}
+	ref := perm([]int{0, 1, 2, 3, 4, 5})
+	// NaN first within each column, then ascending.
+	if !math.IsNaN(ref.Rows[0][0]) || !math.IsNaN(ref.Rows[1][0]) {
+		t.Fatalf("NaN rows not smallest: %v", ref.Rows)
+	}
+	perms := [][]int{{5, 4, 3, 2, 1, 0}, {2, 0, 4, 5, 1, 3}, {3, 5, 0, 4, 2, 1}}
+	for _, order := range perms {
+		got := perm(order)
+		for i := range ref.Rows {
+			for j := range ref.Rows[i] {
+				if math.Float64bits(got.Rows[i][j]) != math.Float64bits(ref.Rows[i][j]) {
+					t.Fatalf("permutation %v sorted differently:\n got %v\nwant %v", order, got.Rows, ref.Rows)
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelMatchesRun is the exec-level unit check under the
+// facade-level suite: parallel ground truth over a mixed plan (selects,
+// two group keys, a join) is bit-identical to serial.
+func TestRunParallelMatchesRun(t *testing.T) {
+	p := plan(t, `R1 = SELECT COUNT GROUPBY 5tuple
+R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
+R3 = SELECT R2.count / R1.count AS lossrate FROM R1 JOIN R2 ON 5tuple
+R4 = SELECT qid, tin WHERE proto == 6`)
+	// A few hundred flows, every 7th packet dropped, so both group
+	// stages, the join and the select all carry rows.
+	var recs []trace.Record
+	for i := 0; i < 4000; i++ {
+		tout := int64(10 + i)
+		if i%7 == 0 {
+			tout = trace.Infinity
+		}
+		recs = append(recs, rec(byte(i%251), uint16(1000+i%13), int64(i), tout, 100))
+	}
+	serial, err := Run(p, &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunParallel(p, &trace.SliceSource{Records: recs}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("table sets differ: %d vs %d", len(serial), len(parallel))
+	}
+	for name, want := range serial {
+		got := parallel[name]
+		if got == nil || len(got.Rows) != len(want.Rows) {
+			t.Fatalf("table %s: rows %d vs %d", name, len(got.Rows), len(want.Rows))
+		}
+		for i := range want.Rows {
+			for j := range want.Rows[i] {
+				if math.Float64bits(got.Rows[i][j]) != math.Float64bits(want.Rows[i][j]) {
+					t.Fatalf("table %s row %d col %d: %v != %v", name, i, j, got.Rows[i][j], want.Rows[i][j])
+				}
+			}
 		}
 	}
 }

@@ -54,6 +54,36 @@ func FullyAssociative(pairs int) Geometry { return Geometry{Buckets: 1, Ways: pa
 // Pairs returns total capacity in key-value pairs.
 func (g Geometry) Pairs() int { return g.Buckets * g.Ways }
 
+// Split divides the geometry's capacity across n shards, preserving the
+// layout family: set-associative and hash-table caches keep their
+// associativity and split buckets; a fully-associative cache splits its
+// ways. Per-shard buckets are rounded DOWN to a power of two — New
+// rounds non-power-of-two bucket counts up, which for n not a power of
+// two would silently inflate the total SRAM above the configured
+// operating point and bias shard-count comparisons. Rounding down keeps
+// total capacity ≤ the configured point (evictions can only increase —
+// conservative for accuracy claims). Degenerate case: n ≥ Buckets
+// leaves one bucket per shard, which New realizes as a full LRU over
+// Ways pairs.
+func (g Geometry) Split(n int) Geometry {
+	if n <= 1 {
+		return g
+	}
+	if g.Buckets == 1 {
+		w := g.Ways / n
+		if w < 1 {
+			w = 1
+		}
+		return Geometry{Buckets: 1, Ways: w}
+	}
+	b := g.Buckets / n
+	if b < 1 {
+		b = 1
+	}
+	b = 1 << (bits.Len(uint(b)) - 1)
+	return Geometry{Buckets: b, Ways: g.Ways}
+}
+
 // Bits returns the SRAM footprint in bits at the paper's provisioning of
 // 128 bits per key-value pair (104-bit key + 24-bit value).
 func (g Geometry) Bits() int64 { return int64(g.Pairs()) * PairBits }
@@ -118,6 +148,18 @@ type Stats struct {
 	Inserts   uint64
 	Evictions uint64 // capacity evictions only
 	Flushed   uint64
+}
+
+// Add returns the event-wise sum of two counters — the aggregation the
+// sharded datapath reports per program across its shard-local caches.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Accesses:  s.Accesses + o.Accesses,
+		Hits:      s.Hits + o.Hits,
+		Inserts:   s.Inserts + o.Inserts,
+		Evictions: s.Evictions + o.Evictions,
+		Flushed:   s.Flushed + o.Flushed,
+	}
 }
 
 // EvictionRate is capacity evictions as a fraction of accesses — the

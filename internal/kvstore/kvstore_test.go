@@ -400,3 +400,38 @@ func BenchmarkProcessChurnFullLRU(b *testing.B) {
 		c.Process(keys[i&(1<<14-1)], in)
 	}
 }
+
+// TestGeometrySplit pins the shard-split contract: family preserved,
+// per-shard buckets a power of two (so New's round-up cannot inflate the
+// total above the configured operating point), and n ≥ buckets
+// degenerating to one bucket per shard.
+func TestGeometrySplit(t *testing.T) {
+	cases := []struct {
+		g    Geometry
+		n    int
+		want Geometry
+	}{
+		{SetAssociative(1<<18, 8), 1, Geometry{Buckets: 1 << 15, Ways: 8}},
+		{SetAssociative(1<<18, 8), 8, Geometry{Buckets: 1 << 12, Ways: 8}},
+		// Non-power-of-two shard counts round DOWN: 32768/3 = 10922 → 8192.
+		{SetAssociative(1<<18, 8), 3, Geometry{Buckets: 1 << 13, Ways: 8}},
+		{HashTable(1 << 10), 4, Geometry{Buckets: 1 << 8, Ways: 1}},
+		{FullyAssociative(1 << 10), 4, Geometry{Buckets: 1, Ways: 1 << 8}},
+		// n beyond the bucket count floors at one bucket per shard.
+		{SetAssociative(64, 8), 100, Geometry{Buckets: 1, Ways: 8}},
+	}
+	for _, c := range cases {
+		got := c.g.Split(c.n)
+		if got != c.want {
+			t.Errorf("%v.Split(%d) = %v, want %v", c.g, c.n, got, c.want)
+		}
+		// The one-bucket floor is the documented exception to the
+		// no-inflation rule (capacity cannot drop below one bucket).
+		if c.n > 1 && got.Buckets > 1 && got.Pairs()*c.n > c.g.Pairs() {
+			t.Errorf("%v.Split(%d): total %d pairs exceeds configured %d", c.g, c.n, got.Pairs()*c.n, c.g.Pairs())
+		}
+		if _, err := New(Config{Geometry: got, Fold: fold.Count()}); err != nil {
+			t.Errorf("split geometry %v rejected by New: %v", got, err)
+		}
+	}
+}

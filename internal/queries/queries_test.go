@@ -1,0 +1,105 @@
+package queries_test
+
+// The Figure 2 catalog is load-bearing for tests, the harness and the
+// docs, so the catalog itself gets tested: every example must compile,
+// its "Linear in state?" column must match what the compiler's linearity
+// analysis concludes, and its declared Result stage must materialize
+// (with key columns leading the schema) on a real end-to-end run.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"perfq"
+	"perfq/internal/queries"
+	"perfq/internal/trace"
+)
+
+func TestFig2Catalog(t *testing.T) {
+	if len(queries.Fig2) != 7 {
+		t.Fatalf("Figure 2 has seven rows, catalog has %d", len(queries.Fig2))
+	}
+	seen := map[string]bool{}
+	for _, ex := range queries.Fig2 {
+		ex := ex
+		t.Run(ex.Name, func(t *testing.T) {
+			if seen[ex.Name] {
+				t.Fatalf("duplicate example name %q", ex.Name)
+			}
+			seen[ex.Name] = true
+			if ex.Description == "" {
+				t.Error("missing description")
+			}
+			q, err := perfq.Compile(ex.Source)
+			if err != nil {
+				t.Fatalf("does not compile: %v", err)
+			}
+			if got := q.LinearInState(); got != ex.Linear {
+				t.Errorf("LinearInState = %v, Figure 2 column says %v", got, ex.Linear)
+			}
+			found := false
+			for _, name := range q.Results() {
+				if name == ex.Result {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("result stage %q not among DAG sinks %v", ex.Result, q.Results())
+			}
+		})
+	}
+}
+
+func TestFig2ExamplesRunEndToEnd(t *testing.T) {
+	recs := collectDC(t)
+	for _, ex := range queries.Fig2 {
+		ex := ex
+		t.Run(ex.Name, func(t *testing.T) {
+			q := perfq.MustCompile(ex.Source)
+			res, err := q.Run(perfq.Records(recs), perfq.WithCache(1<<12, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := res.Table(ex.Result)
+			if tab == nil {
+				t.Fatalf("result table %q missing", ex.Result)
+			}
+			if tab.Len() == 0 {
+				t.Errorf("result table %q empty on a 2s datacenter trace", ex.Result)
+			}
+			if len(tab.Schema) == 0 {
+				t.Fatalf("result table %q has no columns", ex.Result)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, ex := range queries.Fig2 {
+		got := queries.ByName(ex.Name)
+		if got == nil || got.Name != ex.Name {
+			t.Fatalf("ByName(%q) = %v", ex.Name, got)
+		}
+		// The returned pointer aliases the catalog entry (callers patch
+		// thresholds in place during experiments).
+		if !strings.Contains(got.Source, "SELECT") {
+			t.Fatalf("ByName(%q) source looks wrong", ex.Name)
+		}
+	}
+	if queries.ByName("no such row") != nil {
+		t.Error("ByName invented an example")
+	}
+}
+
+func collectDC(t *testing.T) []perfq.Record {
+	t.Helper()
+	recs, err := trace.Collect(perfq.DCTrace(7, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	return recs
+}

@@ -1,0 +1,236 @@
+// Package shard implements the sharded parallel datapath fabric: it
+// hash-partitions a record stream by grouping key across N workers, each
+// of which owns an independent slice of per-program state (cache +
+// backing store, or a ground-truth engine). Because every record of a
+// given key is routed to the same worker, per-shard result tables are
+// disjoint and the merged output is a plain concatenation — sharding is
+// invisible in the final sorted tables.
+//
+// A plan can hold several switch programs with different GROUPBY keys, so
+// one record may belong to different shards for different programs. The
+// router therefore computes one shard index per keyed target and delivers
+// the record to each chosen shard tagged with a bitmask of the targets
+// that shard owns for it. Order-insensitive targets (plain SELECTs over
+// T, whose output is a multiset that is sorted at materialization) carry
+// no key and are spread round-robin for load balance.
+//
+// Records move through batched channels (Config.Batch per send, default
+// 256) so the synchronization cost per record is a fraction of a channel
+// operation. A single feeder preserves arrival order within each shard,
+// which keeps per-key update order — and therefore every fold's state
+// trajectory — identical to the serial datapath.
+package shard
+
+import (
+	"io"
+	"sync"
+
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+// DefaultBatch is the number of records per channel send. 256 amortizes
+// the channel synchronization to well under a nanosecond-scale cost per
+// record while keeping per-shard buffering (batch × inflight × record
+// size) in the tens of kilobytes.
+const DefaultBatch = 256
+
+// MaxTargets bounds the number of routing targets (bits in Item.Mask).
+const MaxTargets = 64
+
+// inflight is the per-shard channel depth in batches; enough to decouple
+// the feeder from momentarily slow workers without unbounded buffering.
+const inflight = 4
+
+// KeyFunc extracts the partition key one target groups records by.
+type KeyFunc func(*trace.Record) packet.Key128
+
+// ProcessFunc consumes one routed record on a worker goroutine. mask has
+// bit t set when this shard owns target t for this record. It is called
+// from exactly one goroutine per shard value.
+type ProcessFunc func(shard int, rec *trace.Record, mask uint64)
+
+// Item is one routed record with the targets its shard owns for it.
+type Item struct {
+	Rec  trace.Record
+	Mask uint64
+}
+
+// Config describes a routing domain.
+type Config struct {
+	// Shards is the worker count; values < 1 mean 1.
+	Shards int
+	// Batch is the records-per-send granularity; 0 selects DefaultBatch.
+	Batch int
+	// Keyed lists the key-partitioned targets; target t sets mask bit t.
+	Keyed []KeyFunc
+	// FreeMask is OR-ed into one round-robin-chosen shard's mask for
+	// every record — the bits of order-insensitive targets.
+	FreeMask uint64
+}
+
+// Index maps a partition key to a shard in [0, n). The key's Hash is
+// re-avalanched with a distinct finalizer so the shard index stays
+// independent of the cache's bucket index, which consumes the low bits
+// of the same hash (correlated bits would confine each shard's keys to
+// 1/n of its cache buckets).
+func Index(key packet.Key128, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := key.Hash()
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 28
+	return int(h % uint64(n))
+}
+
+// Router computes per-shard target masks for records — the one routing
+// algorithm, shared by the batched Pool and inline (feederless) callers
+// such as the datapath's single-record Process path. A Router is not
+// goroutine-safe; give each serial caller its own.
+type Router struct {
+	n     int
+	keyed []KeyFunc
+	free  uint64
+	rr    int
+}
+
+// NewRouter builds a router from the routing-relevant Config fields.
+func NewRouter(cfg Config) *Router {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	return &Router{n: n, keyed: cfg.Keyed, free: cfg.FreeMask}
+}
+
+// Shards returns the shard count records are routed across.
+func (r *Router) Shards() int { return r.n }
+
+// Route fills masks (which must have length Shards) with each shard's
+// target bits for one record. Free targets advance the round-robin
+// cursor, so route each record exactly once.
+func (r *Router) Route(rec *trace.Record, masks []uint64) {
+	for i := range masks {
+		masks[i] = 0
+	}
+	for t, kf := range r.keyed {
+		masks[Index(kf(rec), r.n)] |= 1 << uint(t)
+	}
+	if r.free != 0 {
+		masks[r.rr] |= r.free
+		r.rr++
+		if r.rr == r.n {
+			r.rr = 0
+		}
+	}
+}
+
+// Pool routes records from a single feeder to per-shard worker
+// goroutines. Feed and Close must be called from one goroutine.
+type Pool struct {
+	router *Router
+	batch  int
+
+	chans []chan []Item
+	pend  [][]Item
+	masks []uint64
+	fed   uint64
+
+	wg      sync.WaitGroup
+	recycle sync.Pool
+}
+
+// NewPool starts one worker goroutine per shard, each draining its batch
+// channel through process.
+func NewPool(cfg Config, process ProcessFunc) *Pool {
+	router := NewRouter(cfg)
+	n := router.Shards()
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	p := &Pool{
+		router: router,
+		batch:  batch,
+		chans:  make([]chan []Item, n),
+		pend:   make([][]Item, n),
+		masks:  make([]uint64, n),
+	}
+	p.recycle.New = func() any { return make([]Item, 0, batch) }
+	for s := 0; s < n; s++ {
+		ch := make(chan []Item, inflight)
+		p.chans[s] = ch
+		p.wg.Add(1)
+		go func(s int, ch chan []Item) {
+			defer p.wg.Done()
+			for items := range ch {
+				for i := range items {
+					process(s, &items[i].Rec, items[i].Mask)
+				}
+				p.recycle.Put(items[:0]) //nolint:staticcheck // slice header boxing is fine here
+			}
+		}(s, ch)
+	}
+	return p
+}
+
+// Shards returns the worker count.
+func (p *Pool) Shards() int { return p.router.Shards() }
+
+// Fed returns how many records have been routed so far.
+func (p *Pool) Fed() uint64 { return p.fed }
+
+// Feed routes one record, copying it into the pending batch of every
+// shard that owns at least one target for it.
+func (p *Pool) Feed(rec *trace.Record) {
+	p.fed++
+	p.router.Route(rec, p.masks)
+	for s, m := range p.masks {
+		if m == 0 {
+			continue
+		}
+		b := p.pend[s]
+		if b == nil {
+			b = p.recycle.Get().([]Item)
+		}
+		b = append(b, Item{Rec: *rec, Mask: m})
+		if len(b) >= p.batch {
+			p.chans[s] <- b
+			b = nil
+		}
+		p.pend[s] = b
+	}
+}
+
+// Close flushes every pending batch, closes the channels and waits for
+// all workers to drain. The pool must not be fed afterwards.
+func (p *Pool) Close() {
+	for s := range p.chans {
+		if len(p.pend[s]) > 0 {
+			p.chans[s] <- p.pend[s]
+			p.pend[s] = nil
+		}
+		close(p.chans[s])
+	}
+	p.wg.Wait()
+}
+
+// Run streams an entire source through a fresh pool and waits for the
+// workers to finish. It returns the number of records fed.
+func Run(cfg Config, src trace.Source, process ProcessFunc) (uint64, error) {
+	p := NewPool(cfg, process)
+	var rec trace.Record
+	for {
+		err := src.Next(&rec)
+		if err != nil {
+			p.Close()
+			if err == io.EOF {
+				return p.fed, nil
+			}
+			return p.fed, err
+		}
+		p.Feed(&rec)
+	}
+}

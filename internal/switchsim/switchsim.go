@@ -10,6 +10,14 @@
 // realized the way real switches do it — match and mirror matching
 // records to the collector.
 //
+// The datapath can run sharded (Config.Shards > 1): records are
+// hash-partitioned by each program's GROUPBY key across N workers
+// (internal/shard), each owning an independent cache + backing store per
+// program, and the per-shard tables — disjoint by construction — are
+// merged deterministically at materialization. The configured cache
+// geometry is divided across shards so total on-chip capacity stays at
+// the configured operating point regardless of shard count.
+//
 // The simulation operates on trace.Records rather than raw bytes (the
 // parser stage is exercised by internal/packet); timing is not modeled
 // beyond the one-update-per-packet constraint, which matches the paper's
@@ -19,6 +27,7 @@ package switchsim
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"perfq/internal/backing"
 	"perfq/internal/compiler"
@@ -26,12 +35,14 @@ import (
 	"perfq/internal/fold"
 	"perfq/internal/kvstore"
 	"perfq/internal/packet"
+	"perfq/internal/shard"
 	"perfq/internal/trace"
 )
 
 // Config configures the datapath.
 type Config struct {
-	// Geometry is the cache layout used for every switch program.
+	// Geometry is the cache layout used for every switch program. With
+	// Shards > 1 it is the TOTAL layout, divided evenly across shards.
 	// The zero value defaults to the paper's preferred point: an 8-way
 	// set-associative cache sized 2^18 pairs (32 Mbit at 128 bits/pair).
 	Geometry kvstore.Geometry
@@ -40,11 +51,21 @@ type Config struct {
 	// the ablation knob for the paper's central mechanism.
 	DisableExactMerge bool
 	// OnEvict, when set, observes every eviction of every program (after
-	// the backing store has consumed it).
+	// the backing store has consumed it). With Shards > 1 callbacks may
+	// fire from concurrent workers; the datapath serializes them with an
+	// internal mutex, but their relative order across shards is
+	// unspecified.
 	OnEvict func(prog int, ev *kvstore.Eviction)
+	// Shards is the number of parallel datapath shards; values < 2 run
+	// the serial single-owner datapath (exactly today's behavior).
+	Shards int
+	// ShardBatch overrides the records-per-batch granularity of the
+	// sharded router (0 selects shard.DefaultBatch). Exposed for tests.
+	ShardBatch int
 }
 
-// progState is one physical key-value store instance.
+// progState is one physical key-value store instance, owned by exactly
+// one shard.
 type progState struct {
 	sp    *compiler.SwitchProgram
 	cache kvstore.Cache
@@ -55,20 +76,28 @@ type progState struct {
 	exact   bool
 }
 
+// shardState is the per-shard slice of datapath state: one store
+// instance per switch program plus the mirrored rows of select-over-T
+// stages this shard was assigned.
+type shardState struct {
+	progs   []*progState
+	selects map[string][][]float64
+}
+
 // Datapath executes a plan's switch-resident stages.
 type Datapath struct {
 	plan    *compiler.Plan
-	progs   []*progState
-	selects map[string][][]float64 // mirrored rows of select-over-T stages
+	shards  []*shardState
+	selStgs []*compiler.Stage // select-over-T stages, in plan order
+	routing shard.Config
+	router  *shard.Router // inline Process path's router (Run's pool owns its own)
 	packets uint64
+	masks   []uint64 // scratch per-shard masks for the inline Process path
 }
 
-// New builds a datapath for the plan.
-func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
-	if cfg.Geometry == (kvstore.Geometry{}) {
-		cfg.Geometry = kvstore.SetAssociative(1<<18, 8)
-	}
-	d := &Datapath{plan: plan, selects: map[string][][]float64{}}
+// newShardState builds one shard's stores for the plan.
+func newShardState(plan *compiler.Plan, geo kvstore.Geometry, cfg Config, evictMu *sync.Mutex) (*shardState, error) {
+	sh := &shardState{selects: map[string][][]float64{}}
 	for i, sp := range plan.Programs {
 		ps := &progState{
 			sp:    sp,
@@ -80,12 +109,16 @@ func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
 		}
 		idx := i
 		cache, err := kvstore.New(kvstore.Config{
-			Geometry:   cfg.Geometry,
+			Geometry:   geo,
 			Fold:       sp.Fold,
 			ExactMerge: ps.exact,
 			OnEvict: func(ev *kvstore.Eviction) {
 				ps.store.HandleEviction(ev)
 				if cfg.OnEvict != nil {
+					if evictMu != nil {
+						evictMu.Lock()
+						defer evictMu.Unlock()
+					}
 					cfg.OnEvict(idx, ev)
 				}
 			},
@@ -94,36 +127,100 @@ func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
 			return nil, fmt.Errorf("switchsim: program %d: %w", i, err)
 		}
 		ps.cache = cache
-		d.progs = append(d.progs, ps)
+		sh.progs = append(sh.progs, ps)
 	}
+	return sh, nil
+}
+
+// New builds a datapath for the plan.
+func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
+	if cfg.Geometry == (kvstore.Geometry{}) {
+		cfg.Geometry = kvstore.SetAssociative(1<<18, 8)
+	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	// The routing mask carries one bit per program plus one for the
+	// select-over-T stages; plans are far below the 64-target ceiling,
+	// but degrade safely rather than corrupt masks (the serial datapath
+	// ignores masks entirely, so any program count works at n = 1).
+	if len(plan.Programs)+1 > shard.MaxTargets {
+		n = 1
+	}
+	d := &Datapath{plan: plan}
+	for _, st := range plan.Stages {
+		if st.Kind == compiler.KindSelect && st.Input == nil {
+			d.selStgs = append(d.selStgs, st)
+		}
+	}
+
+	geo := cfg.Geometry.Split(n)
+	var evictMu *sync.Mutex
+	if n > 1 && cfg.OnEvict != nil {
+		evictMu = &sync.Mutex{}
+	}
+	for s := 0; s < n; s++ {
+		sh, err := newShardState(plan, geo, cfg, evictMu)
+		if err != nil {
+			return nil, err
+		}
+		d.shards = append(d.shards, sh)
+	}
+
+	keyed := make([]shard.KeyFunc, len(plan.Programs))
+	for i, sp := range plan.Programs {
+		keyed[i] = sp.Key.Of
+	}
+	var freeMask uint64
+	if len(d.selStgs) > 0 {
+		freeMask = 1 << uint(len(plan.Programs))
+	}
+	d.routing = shard.Config{
+		Shards:   n,
+		Batch:    cfg.ShardBatch,
+		Keyed:    keyed,
+		FreeMask: freeMask,
+	}
+	d.router = shard.NewRouter(d.routing)
+	d.masks = make([]uint64, n)
 	return d, nil
 }
 
-// Process applies one packet observation to every switch-resident stage.
-func (d *Datapath) Process(rec *trace.Record) {
-	d.packets++
+// Shards returns the configured shard count.
+func (d *Datapath) Shards() int { return len(d.shards) }
+
+// Packets returns how many records the datapath has processed.
+func (d *Datapath) Packets() uint64 { return d.packets }
+
+// process applies one routed record to the targets this shard owns.
+// all bypasses the mask (the serial datapath owns every target, and
+// masks cannot represent plans beyond shard.MaxTargets programs).
+func (sh *shardState) process(d *Datapath, rec *trace.Record, mask uint64, all bool) {
 	in := fold.Input{Rec: rec}
 
 	// Mirror matching records for select-over-T stages.
-	for _, st := range d.plan.Stages {
-		if st.Kind != compiler.KindSelect || st.Input != nil {
-			continue
+	if all || mask&(1<<uint(len(sh.progs))) != 0 {
+		for _, st := range d.selStgs {
+			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+				continue
+			}
+			row := make([]float64, len(st.Cols))
+			for i, c := range st.Cols {
+				row[i] = fold.EvalExpr(c, &in, nil)
+			}
+			sh.selects[st.Name] = append(sh.selects[st.Name], row)
 		}
-		if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
-			continue
-		}
-		row := make([]float64, len(st.Cols))
-		for i, c := range st.Cols {
-			row[i] = fold.EvalExpr(c, &in, nil)
-		}
-		d.selects[st.Name] = append(d.selects[st.Name], row)
 	}
 
 	// Key-value store programs. A record enters a program's store if it
 	// matches any member's guard; the fused fold's internal guards keep
 	// per-member state exact.
-	for _, ps := range d.progs {
-		if !d.anyMemberMatches(ps.sp, &in) {
+	for pi, ps := range sh.progs {
+		if !all && mask&(1<<uint(pi)) == 0 {
+			continue
+		}
+		if !anyMemberMatches(ps.sp, &in) {
 			continue
 		}
 		nk := ps.sp.Key.NumComponents()
@@ -139,8 +236,27 @@ func (d *Datapath) Process(rec *trace.Record) {
 	}
 }
 
+// Process applies one packet observation to every switch-resident stage,
+// on the calling goroutine. With Shards > 1 the record is routed to the
+// owning shards' state inline with the same mask computation the
+// parallel workers see (serial but shard-equivalent); bulk replay
+// should prefer Run, which streams through the parallel workers.
+func (d *Datapath) Process(rec *trace.Record) {
+	d.packets++
+	if len(d.shards) == 1 {
+		d.shards[0].process(d, rec, 0, true)
+		return
+	}
+	d.router.Route(rec, d.masks)
+	for s, m := range d.masks {
+		if m != 0 {
+			d.shards[s].process(d, rec, m, false)
+		}
+	}
+}
+
 // anyMemberMatches evaluates the per-member match predicates.
-func (d *Datapath) anyMemberMatches(sp *compiler.SwitchProgram, in *fold.Input) bool {
+func anyMemberMatches(sp *compiler.SwitchProgram, in *fold.Input) bool {
 	for _, st := range sp.Members {
 		if st.Where == nil || fold.EvalPred(st.Where, in, nil) {
 			return true
@@ -149,18 +265,30 @@ func (d *Datapath) anyMemberMatches(sp *compiler.SwitchProgram, in *fold.Input) 
 	return false
 }
 
-// Run streams a whole source and flushes.
+// Run streams a whole source and flushes. With Shards > 1 the stream is
+// hash-partitioned across one worker goroutine per shard.
 func (d *Datapath) Run(src trace.Source) error {
-	var rec trace.Record
-	for {
-		err := src.Next(&rec)
-		if err == io.EOF {
-			break
+	if len(d.shards) == 1 {
+		var rec trace.Record
+		for {
+			err := src.Next(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			d.Process(&rec)
 		}
-		if err != nil {
-			return err
-		}
-		d.Process(&rec)
+		d.Flush()
+		return nil
+	}
+	fed, err := shard.Run(d.routing, src, func(s int, rec *trace.Record, mask uint64) {
+		d.shards[s].process(d, rec, mask, false)
+	})
+	d.packets += fed
+	if err != nil {
+		return err
 	}
 	d.Flush()
 	return nil
@@ -169,43 +297,53 @@ func (d *Datapath) Run(src trace.Source) error {
 // Flush evicts all cache-resident entries into the backing stores (end of
 // a measurement window, or the paper's periodic refresh).
 func (d *Datapath) Flush() {
-	for _, ps := range d.progs {
-		ps.cache.Flush()
+	for _, sh := range d.shards {
+		for _, ps := range sh.progs {
+			ps.cache.Flush()
+		}
 	}
 }
 
 // Tables materializes every switch-resident stage's result from the
-// backing stores (call Flush first). For programs whose fold is not
-// mergeable, only valid (single-epoch) keys appear — the accuracy
-// semantics of §3.2.
+// backing stores (call Flush first). Per-shard partial tables are
+// disjoint (each key is owned by exactly one shard), so the merge is a
+// concatenation followed by the deterministic total-order sort. For
+// programs whose fold is not mergeable, only valid (single-epoch) keys
+// appear — the accuracy semantics of §3.2.
 func (d *Datapath) Tables() map[string]*exec.Table {
 	out := map[string]*exec.Table{}
-	for name, rows := range d.selects {
-		st := d.plan.ByName[name]
+	for _, st := range d.selStgs {
+		var rows [][]float64
+		for _, sh := range d.shards {
+			rows = append(rows, sh.selects[st.Name]...)
+		}
 		t := &exec.Table{Schema: st.Schema, Rows: rows}
 		t.Sort()
-		out[name] = t
+		out[st.Name] = t
 	}
-	for _, ps := range d.progs {
-		nk := ps.sp.Key.NumComponents()
-		memberRows := make([][][]float64, len(ps.sp.Members))
-		ps.store.Range(func(key packet.Key128, state []float64) bool {
-			var kv [8]float64
-			if ps.keyVals != nil {
-				copy(kv[:nk], ps.keyVals[key])
-			} else {
-				ps.sp.Key.Unpack(key, kv[:nk])
-			}
-			for mi, st := range ps.sp.Members {
-				if state[ps.sp.PresIdx[mi]] <= 0 {
-					continue // no record of this member's query saw the key
+	for pi, sp := range d.plan.Programs {
+		nk := sp.Key.NumComponents()
+		memberRows := make([][][]float64, len(sp.Members))
+		for _, sh := range d.shards {
+			ps := sh.progs[pi]
+			ps.store.Range(func(key packet.Key128, state []float64) bool {
+				var kv [8]float64
+				if ps.keyVals != nil {
+					copy(kv[:nk], ps.keyVals[key])
+				} else {
+					sp.Key.Unpack(key, kv[:nk])
 				}
-				mstate := state[ps.sp.Offsets[mi] : ps.sp.Offsets[mi]+st.Fold.StateLen()]
-				memberRows[mi] = append(memberRows[mi], exec.GroupRow(st, kv[:nk], mstate))
-			}
-			return true
-		})
-		for mi, st := range ps.sp.Members {
+				for mi, st := range sp.Members {
+					if state[sp.PresIdx[mi]] <= 0 {
+						continue // no record of this member's query saw the key
+					}
+					mstate := state[sp.Offsets[mi] : sp.Offsets[mi]+st.Fold.StateLen()]
+					memberRows[mi] = append(memberRows[mi], exec.GroupRow(st, kv[:nk], mstate))
+				}
+				return true
+			})
+		}
+		for mi, st := range sp.Members {
 			t := &exec.Table{Schema: st.Schema, Rows: memberRows[mi]}
 			t.Sort()
 			out[st.Name] = t
@@ -224,28 +362,39 @@ func (d *Datapath) Collect() (map[string]*exec.Table, error) {
 	return eng.Finish()
 }
 
-// Stats reports per-program cache statistics.
+// Stats reports per-program cache statistics, aggregated across shards.
 func (d *Datapath) Stats() []kvstore.Stats {
-	out := make([]kvstore.Stats, len(d.progs))
-	for i, ps := range d.progs {
-		out[i] = ps.cache.Stats()
+	out := make([]kvstore.Stats, len(d.plan.Programs))
+	for _, sh := range d.shards {
+		for i, ps := range sh.progs {
+			out[i] = out[i].Add(ps.cache.Stats())
+		}
 	}
 	return out
 }
 
-// StoreStats reports per-program backing-store statistics.
+// StoreStats reports per-program backing-store statistics, aggregated
+// across shards.
 func (d *Datapath) StoreStats() []backing.Stats {
-	out := make([]backing.Stats, len(d.progs))
-	for i, ps := range d.progs {
-		out[i] = ps.store.Stats()
+	out := make([]backing.Stats, len(d.plan.Programs))
+	for _, sh := range d.shards {
+		for i, ps := range sh.progs {
+			out[i] = out[i].Add(ps.store.Stats())
+		}
 	}
 	return out
 }
 
 // Accuracy returns (valid, total) key counts for program i — Figure 6's
-// metric for non-mergeable folds.
+// metric for non-mergeable folds — summed over shards (keys are disjoint
+// across shards, so the sums are exact counts).
 func (d *Datapath) Accuracy(i int) (valid, total int) {
-	return d.progs[i].store.Accuracy()
+	for _, sh := range d.shards {
+		v, t := sh.progs[i].store.Accuracy()
+		valid += v
+		total += t
+	}
+	return valid, total
 }
 
 // RunPlan is the one-call pipeline: datapath over src, then the collector.

@@ -250,3 +250,49 @@ func TestEvictionObserver(t *testing.T) {
 		t.Error("backing store empty")
 	}
 }
+
+// TestProcessInlineShardedMatchesRun pins the "serial but
+// shard-equivalent" contract of the single-record Process path: driving
+// a sharded datapath record by record must produce the same tables as
+// streaming through Run's parallel workers.
+func TestProcessInlineShardedMatchesRun(t *testing.T) {
+	plan := compilePlan(t, `R1 = SELECT COUNT GROUPBY 5tuple
+R2 = SELECT qid, tin WHERE proto == 6`)
+	recs := testTrace(t)
+	cfg := Config{Geometry: kvstore.SetAssociative(1<<10, 8), Shards: 4}
+
+	viaRun, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viaRun.Run(&trace.SliceSource{Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+
+	inline, err := New(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		inline.Process(&recs[i])
+	}
+	inline.Flush()
+	if inline.Packets() != viaRun.Packets() || inline.Packets() != uint64(len(recs)) {
+		t.Fatalf("packets: inline %d, run %d, want %d", inline.Packets(), viaRun.Packets(), len(recs))
+	}
+
+	want, got := viaRun.Tables(), inline.Tables()
+	for name, wt := range want {
+		gt := got[name]
+		if gt == nil || len(gt.Rows) != len(wt.Rows) {
+			t.Fatalf("table %s: inline rows %v, run rows %d", name, gt, len(wt.Rows))
+		}
+		for i := range wt.Rows {
+			for j := range wt.Rows[i] {
+				if math.Float64bits(gt.Rows[i][j]) != math.Float64bits(wt.Rows[i][j]) {
+					t.Fatalf("table %s row %d col %d: %v != %v", name, i, j, gt.Rows[i][j], wt.Rows[i][j])
+				}
+			}
+		}
+	}
+}

@@ -162,6 +162,22 @@ func WithoutExactMerge() RunOption {
 	return func(c *switchsim.Config) { c.DisableExactMerge = true }
 }
 
+// WithShards runs the datapath across n parallel shards: the record
+// stream is hash-partitioned by each switch program's GROUPBY key, every
+// shard owns an independent cache + backing store slice, and the
+// per-shard tables (disjoint by construction) are merged
+// deterministically. n <= 1 is the serial datapath — today's exact
+// behavior. The configured cache geometry is the total across shards.
+// For linear-in-state queries the merged output is byte-identical at any
+// shard count (decay folds like EWMA agree to within last-bit rounding
+// of the §3.2 merge reconstruction); non-mergeable folds keep their
+// epoch semantics per shard, so accuracy varies with n the same way it
+// varies with cache size. GroundTruth honors the option too,
+// partitioning its unbounded evaluation the same way.
+func WithShards(n int) RunOption {
+	return func(c *switchsim.Config) { c.Shards = n }
+}
+
 // Run executes the query on the full co-designed datapath: switch-stage
 // aggregations run through the cache + backing-store pipeline, downstream
 // stages on the collector. It returns every stage's table.
@@ -194,9 +210,16 @@ func (q *Query) Run(src Source, opts ...RunOption) (*Results, error) {
 }
 
 // GroundTruth executes the query with unbounded memory (no cache, no
-// merging) — the reference the datapath is validated against.
-func (q *Query) GroundTruth(src Source) (*Results, error) {
-	tables, err := exec.Run(q.plan, src)
+// merging) — the reference the datapath is validated against. Of the run
+// options only WithShards applies (cache options are meaningless without
+// a cache); sharded ground truth is byte-identical to serial for every
+// query.
+func (q *Query) GroundTruth(src Source, opts ...RunOption) (*Results, error) {
+	var cfg switchsim.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tables, err := exec.RunParallel(q.plan, src, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
