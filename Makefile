@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet figures clean
+.PHONY: all build test race bench bench-json profile vet figures clean
 
 all: build test
 
@@ -20,6 +20,25 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
+
+# Record the perf trajectory: the sharded-datapath scaling series
+# (pkts/s, allocs/op at shards 1/2/4/8) plus the fold-eval microbench,
+# written as JSON for the repo's BENCH_*.json history. pipefail so a
+# failing benchmark can't silently record a partial file.
+bench-json: SHELL := /bin/bash
+bench-json:
+	set -o pipefail; \
+	{ $(GO) test -bench 'BenchmarkShardedDatapath' -benchtime 2s -benchmem -run XXX . && \
+	  $(GO) test -bench 'BenchmarkFoldEval' -benchtime 1s -benchmem -run XXX ./internal/fold ; } \
+	| $(GO) run ./cmd/benchjson -out BENCH_3.json
+	@cat BENCH_3.json
+
+# Hot-path diagnosis: run the reference EWMA query over a DC trace with
+# CPU and heap profiles; inspect with `go tool pprof cpu.prof`.
+profile: build
+	$(GO) run ./cmd/pqrun -gen dc -duration 4s -pairs 16384 -ways 8 \
+		-cpuprofile cpu.prof -memprofile mem.prof -rows 5 testdata/ewma.pq
+	@echo "wrote cpu.prof and mem.prof — inspect with: go tool pprof cpu.prof"
 
 vet:
 	$(GO) vet ./...

@@ -12,6 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"perfq"
@@ -21,21 +24,61 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "pqt trace file (overrides -gen)")
-		gen       = flag.String("gen", "wan", "synthetic preset when no trace file: wan|dc")
-		duration  = flag.Duration("duration", 10*time.Second, "synthetic capture length")
-		seed      = flag.Int64("seed", 1, "synthetic trace seed")
-		pairs     = flag.Int("pairs", 1<<18, "cache capacity in key-value pairs")
-		ways      = flag.Int("ways", 8, "cache associativity (0 = full LRU, 1 = hash table)")
-		shards    = flag.Int("shards", 1, "parallel datapath shards (1 = serial)")
-		maxRows   = flag.Int("rows", 20, "rows to print per table (0 = all)")
-		truth     = flag.Bool("truth", false, "also run ground truth and report row agreement")
+		tracePath  = flag.String("trace", "", "pqt trace file (overrides -gen)")
+		gen        = flag.String("gen", "wan", "synthetic preset when no trace file: wan|dc")
+		duration   = flag.Duration("duration", 10*time.Second, "synthetic capture length")
+		seed       = flag.Int64("seed", 1, "synthetic trace seed")
+		pairs      = flag.Int("pairs", 1<<18, "cache capacity in key-value pairs")
+		ways       = flag.Int("ways", 8, "cache associativity (0 = full LRU, 1 = hash table)")
+		shards     = flag.Int("shards", 1, "parallel datapath shards (1 = serial)")
+		maxRows    = flag.Int("rows", 20, "rows to print per table (0 = all)")
+		truth      = flag.Bool("truth", false, "also run ground truth and report row agreement")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pqrun [flags] <query.pq>")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		var cpuFile *os.File
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				fail(err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fail(err)
+			}
+			cpuFile = f
+		}
+		var once sync.Once
+		// fail() also runs this, so profiles are flushed and usable even
+		// when the run errors out partway.
+		finishProfiles = func() {
+			once.Do(func() {
+				if cpuFile != nil {
+					pprof.StopCPUProfile()
+					cpuFile.Close()
+				}
+				if *memProfile == "" {
+					return
+				}
+				f, err := os.Create(*memProfile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pqrun: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // materialize the retained heap before snapshotting
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "pqrun: %v\n", err)
+				}
+			})
+		}
+		defer finishProfiles()
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -108,7 +151,12 @@ func main() {
 	}
 }
 
+// finishProfiles flushes active profiles; a no-op unless profiling flags
+// were given. fail routes through it so os.Exit never truncates them.
+var finishProfiles = func() {}
+
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "pqrun: %v\n", err)
+	finishProfiles()
 	os.Exit(1)
 }

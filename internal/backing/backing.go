@@ -3,16 +3,23 @@
 //
 // Reconciliation depends on the fold's merge class:
 //
-//   - Linear-in-state folds merge exactly: the store replays the epoch's
-//     first packet against its current value and applies the evicted
-//     running product (fold.MergeWithFirstRec), so at any flush point the
-//     store holds precisely the value an infinite cache would have.
+//   - Linear-in-state folds merge exactly: either the eviction's running
+//     product covers its whole epoch (history-free coefficients) and the
+//     store applies fold.MergeLinearState, or the epoch's first packet
+//     rides along and is replayed (fold.MergeWithFirstRec). Either way,
+//     at any flush point the store holds precisely the value an infinite
+//     cache would have.
 //   - Associative folds (MAX/MIN) combine values directly.
 //   - Everything else appends one value per eviction epoch; keys that
 //     accumulate more than one epoch are marked invalid, and the fraction
 //     of valid keys is Figure 6's accuracy metric. Each epoch value is
 //     still correct over its own interval, which is why the paper reports
 //     higher accuracy for shorter query windows.
+//
+// Storage is a flat entry slice plus a contiguous state slab, with a map
+// serving only as the key index: evictions touch the map once, and bulk
+// readers (Range — the per-window materialization path) walk memory
+// linearly in insertion order instead of iterating a map of pointers.
 package backing
 
 import (
@@ -29,18 +36,25 @@ type Epoch struct {
 	State []float64
 }
 
-// entry is the store's per-key record.
+// entry is the store's per-key record. Merged values (linear/assoc
+// folds) live in the store's state slab at the entry's index; epoch
+// values (non-mergeable folds) hang off the entry.
 type entry struct {
-	state  []float64 // merged value (linear/assoc folds)
-	epochs []Epoch   // per-eviction values (non-mergeable folds)
+	key    packet.Key128
+	epochs []Epoch
+	merged bool
 }
 
 // Store is the backing key-value store.
 type Store struct {
-	f    *fold.Func
-	m    int
-	keys map[packet.Key128]*entry
+	f     *fold.Func
+	m     int
+	s0    []float64 // the fold's initial state, for P-only merges
+	index map[packet.Key128]int32
+	ents  []entry
+	slab  []float64 // m words per entry
 
+	invalid int // keys with >1 epoch (non-mergeable folds)
 	merges  uint64
 	appends uint64
 }
@@ -48,35 +62,56 @@ type Store struct {
 // New creates a store for the given fold. The fold's Merge kind selects
 // reconciliation behaviour.
 func New(f *fold.Func) *Store {
-	return &Store{f: f, m: f.StateLen(), keys: make(map[packet.Key128]*entry)}
+	m := f.StateLen()
+	s0 := make([]float64, m)
+	f.Init(s0)
+	return &Store{f: f, m: m, s0: s0, index: make(map[packet.Key128]int32)}
+}
+
+// slot returns the entry's index, creating it on first sight.
+func (s *Store) slot(key packet.Key128) int32 {
+	if i, ok := s.index[key]; ok {
+		return i
+	}
+	i := int32(len(s.ents))
+	s.ents = append(s.ents, entry{key: key})
+	s.slab = append(s.slab, s.s0...)
+	s.index[key] = i
+	return i
+}
+
+// state returns entry i's slab slice.
+func (s *Store) state(i int32) []float64 {
+	return s.slab[int(i)*s.m : int(i)*s.m+s.m]
 }
 
 // HandleEviction implements the cache's eviction callback contract.
 func (s *Store) HandleEviction(ev *kvstore.Eviction) {
-	e := s.keys[ev.Key]
 	switch s.f.Merge {
 	case fold.MergeLinear:
-		if ev.P == nil || ev.FirstRec == nil {
+		if ev.P == nil {
 			// The cache ran without exact-merge machinery; fall back to
 			// epoch semantics so results are still usable per interval.
 			s.appendEpoch(ev)
 			return
 		}
-		if e == nil {
-			e = &entry{state: make([]float64, s.m)}
-			s.f.Init(e.state)
-			s.keys[ev.Key] = e
+		i := s.slot(ev.Key)
+		s.ents[i].merged = true
+		st := s.state(i)
+		if ev.FirstRec != nil {
+			// History coefficients: P excludes the epoch's first packet,
+			// which is replayed from the snapshot.
+			in := fold.Input{Rec: ev.FirstRec}
+			fold.MergeWithFirstRec(s.f, st, ev.State, ev.P, st, &in)
+		} else {
+			// History-free coefficients: P covers the whole epoch.
+			fold.MergeLinearState(st, ev.State, ev.P, st, s.s0, s.m)
 		}
-		in := fold.Input{Rec: ev.FirstRec}
-		fold.MergeWithFirstRec(s.f, e.state, ev.State, ev.P, e.state, &in)
 		s.merges++
 	case fold.MergeAssoc:
-		if e == nil {
-			e = &entry{state: make([]float64, s.m)}
-			s.f.Init(e.state)
-			s.keys[ev.Key] = e
-		}
-		s.f.Combine(e.state, ev.State)
+		i := s.slot(ev.Key)
+		s.ents[i].merged = true
+		s.f.Combine(s.state(i), ev.State)
 		s.merges++
 	default:
 		s.appendEpoch(ev)
@@ -84,39 +119,46 @@ func (s *Store) HandleEviction(ev *kvstore.Eviction) {
 }
 
 func (s *Store) appendEpoch(ev *kvstore.Eviction) {
-	e := s.keys[ev.Key]
-	if e == nil {
-		e = &entry{}
-		s.keys[ev.Key] = e
-	}
+	i := s.slot(ev.Key)
 	st := make([]float64, s.m)
 	copy(st, ev.State)
+	e := &s.ents[i]
 	e.epochs = append(e.epochs, Epoch{State: st})
+	if len(e.epochs) == 2 {
+		s.invalid++
+	}
 	s.appends++
+}
+
+// value returns entry i's trustworthy full-window value, if any.
+func (s *Store) value(i int32) ([]float64, bool) {
+	e := &s.ents[i]
+	switch {
+	case e.merged:
+		return s.state(i), true
+	case len(e.epochs) == 1:
+		return e.epochs[0].State, true
+	default:
+		return nil, false
+	}
 }
 
 // Get returns the merged value for key. For non-mergeable folds it returns
 // the value only when the key is valid (exactly one epoch).
 func (s *Store) Get(key packet.Key128) ([]float64, bool) {
-	e, ok := s.keys[key]
+	i, ok := s.index[key]
 	if !ok {
 		return nil, false
 	}
-	if e.state != nil {
-		return e.state, true
-	}
-	if len(e.epochs) == 1 {
-		return e.epochs[0].State, true
-	}
-	return nil, false
+	return s.value(i)
 }
 
 // Epochs returns every per-eviction value recorded for key (non-mergeable
 // folds). Multi-epoch keys are invalid as totals but each epoch is correct
 // over its own interval.
 func (s *Store) Epochs(key packet.Key128) []Epoch {
-	if e, ok := s.keys[key]; ok {
-		return e.epochs
+	if i, ok := s.index[key]; ok {
+		return s.ents[i].epochs
 	}
 	return nil
 }
@@ -124,41 +166,31 @@ func (s *Store) Epochs(key packet.Key128) []Epoch {
 // Valid reports whether key's value is trustworthy for the full window:
 // always true for mergeable folds, one-epoch-only for the rest.
 func (s *Store) Valid(key packet.Key128) bool {
-	e, ok := s.keys[key]
+	i, ok := s.index[key]
 	if !ok {
 		return false
 	}
-	if e.state != nil {
-		return true
-	}
-	return len(e.epochs) == 1
+	_, ok = s.value(i)
+	return ok
 }
 
 // Len returns the number of keys present.
-func (s *Store) Len() int { return len(s.keys) }
+func (s *Store) Len() int { return len(s.ents) }
 
 // Accuracy returns (valid, total) key counts — Figure 6's metric.
+// Multi-epoch keys are counted as they form, so this is O(1).
 func (s *Store) Accuracy() (valid, total int) {
-	for _, e := range s.keys {
-		total++
-		if e.state != nil || len(e.epochs) == 1 {
-			valid++
-		}
-	}
-	return valid, total
+	total = len(s.ents)
+	return total - s.invalid, total
 }
 
 // Range calls fn for every key with its merged value (or the single-epoch
-// value), skipping invalid keys. Iteration order is unspecified.
+// value), skipping invalid keys. Iteration is a linear walk in insertion
+// order.
 func (s *Store) Range(fn func(key packet.Key128, state []float64) bool) {
-	for k, e := range s.keys {
-		switch {
-		case e.state != nil:
-			if !fn(k, e.state) {
-				return
-			}
-		case len(e.epochs) == 1:
-			if !fn(k, e.epochs[0].State) {
+	for i := range s.ents {
+		if st, ok := s.value(int32(i)); ok {
+			if !fn(s.ents[i].key, st) {
 				return
 			}
 		}
@@ -167,9 +199,9 @@ func (s *Store) Range(fn func(key packet.Key128, state []float64) bool) {
 
 // SortedKeys returns all keys in byte order, for deterministic reporting.
 func (s *Store) SortedKeys() []packet.Key128 {
-	out := make([]packet.Key128, 0, len(s.keys))
-	for k := range s.keys {
-		out = append(out, k)
+	out := make([]packet.Key128, 0, len(s.ents))
+	for i := range s.ents {
+		out = append(out, s.ents[i].key)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -185,7 +217,9 @@ func (s *Store) SortedKeys() []packet.Key128 {
 
 // Reset drops all keys.
 func (s *Store) Reset() {
-	s.keys = make(map[packet.Key128]*entry)
+	s.index = make(map[packet.Key128]int32)
+	s.ents, s.slab = nil, nil
+	s.invalid = 0
 	s.merges, s.appends = 0, 0
 }
 
@@ -198,7 +232,7 @@ type Stats struct {
 
 // Stats returns reconciliation counters.
 func (s *Store) Stats() Stats {
-	return Stats{Keys: len(s.keys), Merges: s.merges, Appends: s.appends}
+	return Stats{Keys: len(s.ents), Merges: s.merges, Appends: s.appends}
 }
 
 // Add returns the field-wise sum of two counters. Shard-local stores
@@ -211,5 +245,5 @@ func (s Stats) Add(o Stats) Stats {
 // String summarizes the store.
 func (s *Store) String() string {
 	return fmt.Sprintf("backing{fold=%s keys=%d merges=%d appends=%d}",
-		s.f.Name(), len(s.keys), s.merges, s.appends)
+		s.f.Name(), len(s.ents), s.merges, s.appends)
 }

@@ -71,6 +71,18 @@ type Stage struct {
 	// Switch placement (filled by the fusion pass for OnSwitch stages).
 	Program *SwitchProgram // physical store this stage reads
 	Member  int            // index of this stage within the program
+
+	// Bytecode lowerings of the per-row work above, filled once by
+	// Compile (nil entries fall back to the fold tree interpreter).
+	WhereCode     *fold.Code
+	ColCodes      []*fold.Code
+	OutCodes      []*fold.Code
+	JoinWhereCode *fold.Code
+	JoinColCodes  []*fold.Code
+	// OutStateIdx[i] is the state word Out[i] projects when it is a bare
+	// StateRef (the common projection), else -1; materialization reads
+	// the word directly instead of running any evaluator.
+	OutStateIdx []int
 }
 
 // SwitchProgram is one physical key-value store instance on the switch: a
@@ -83,9 +95,17 @@ type SwitchProgram struct {
 	Fold    *fold.Func
 	Members []*Stage
 	// Offsets[i] is where member i's state begins; PresIdx[i] its
-	// presence counter.
+	// presence counter, or -1 when none is needed: a single-member store
+	// admits only records matching that member's WHERE (the guard stays
+	// outside the fold), so every key present trivially belongs to the
+	// member and the counter would burn a state word — and a per-packet
+	// update — for nothing.
 	Offsets []int
 	PresIdx []int
+	// MemberWhere[i] is member i's WHERE predicate compiled to bytecode
+	// (nil when the member matches every record, or on compile fallback —
+	// consult Members[i].Where then). Filled once by Compile.
+	MemberWhere []*fold.Code
 }
 
 // Plan is a compiled program.
@@ -116,7 +136,60 @@ func Compile(chk *lang.Checked) (*Plan, error) {
 	if err := p.fuse(); err != nil {
 		return nil, err
 	}
+	p.compileCodes()
 	return p, nil
+}
+
+// compileCodes lowers every per-row expression in the plan — WHERE
+// predicates, SELECT/JOIN columns, output projections, fold bodies and
+// linear-in-state coefficients — to fold bytecode, exactly once, before
+// any record is processed. Lowering is best-effort: an expression the VM
+// cannot hold (deeper than its register file) keeps a nil code and the
+// evaluators fall back to the tree interpreter for it.
+func (p *Plan) compileCodes() {
+	compileExprs := func(exprs []fold.Expr) []*fold.Code {
+		if len(exprs) == 0 {
+			return nil
+		}
+		codes := make([]*fold.Code, len(exprs))
+		for i, e := range exprs {
+			codes[i], _ = fold.CompileExpr(e)
+		}
+		return codes
+	}
+	for _, st := range p.Stages {
+		if st.Where != nil {
+			st.WhereCode, _ = fold.CompilePred(st.Where)
+		}
+		if st.JoinWhere != nil {
+			st.JoinWhereCode, _ = fold.CompilePred(st.JoinWhere)
+		}
+		st.ColCodes = compileExprs(st.Cols)
+		st.JoinColCodes = compileExprs(st.JoinCols)
+		if len(st.Out) > 0 {
+			st.OutCodes = make([]*fold.Code, len(st.Out))
+			st.OutStateIdx = make([]int, len(st.Out))
+			for i, oc := range st.Out {
+				st.OutCodes[i], _ = fold.CompileExpr(oc.Expr)
+				st.OutStateIdx[i] = -1
+				if sr, ok := oc.Expr.(fold.StateRef); ok {
+					st.OutStateIdx[i] = int(sr)
+				}
+			}
+		}
+		if st.Fold != nil {
+			st.Fold.EnsureCompiled()
+		}
+	}
+	for _, sp := range p.Programs {
+		sp.Fold.EnsureCompiled()
+		sp.MemberWhere = make([]*fold.Code, len(sp.Members))
+		for i, m := range sp.Members {
+			if m.Where != nil {
+				sp.MemberWhere[i], _ = fold.CompilePred(m.Where)
+			}
+		}
+	}
 }
 
 type compilerCtx struct {
@@ -454,13 +527,19 @@ func (sp *SwitchProgram) build() error {
 		}
 		offset += st.Fold.StateLen()
 
-		// Presence counter for this member.
-		pres := offset
-		sp.PresIdx = append(sp.PresIdx, pres)
-		member = append(member, fold.Assign{Dst: pres, RHS: fold.Bin{Op: fold.OpAdd, L: fold.StateRef(pres), R: fold.Const(1)}})
-		names = append(names, fmt.Sprintf("%s.present", st.Name))
-		s0 = append(s0, 0)
-		offset++
+		if single {
+			// No presence counter: the datapath admits only matching
+			// records, so membership is implied by key presence.
+			sp.PresIdx = append(sp.PresIdx, -1)
+		} else {
+			// Presence counter for this member.
+			pres := offset
+			sp.PresIdx = append(sp.PresIdx, pres)
+			member = append(member, fold.Assign{Dst: pres, RHS: fold.Bin{Op: fold.OpAdd, L: fold.StateRef(pres), R: fold.Const(1)}})
+			names = append(names, fmt.Sprintf("%s.present", st.Name))
+			s0 = append(s0, 0)
+			offset++
+		}
 
 		if st.Where != nil && !single {
 			member = []fold.Stmt{fold.If{Cond: st.Where, Then: member}}

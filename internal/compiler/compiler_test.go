@@ -177,17 +177,27 @@ func TestUserFoldLowering(t *testing.T) {
 }
 
 func TestStoreTooWide(t *testing.T) {
-	// Eight single-state aggregates fill MaxState; the store's presence
-	// counter pushes it over.
-	src := "SELECT COUNT, SUM(pkt_len), SUM(payload_len), SUM(tin), SUM(tout), SUM(qin), SUM(qout), SUM(tcpseq) GROUPBY srcip\n"
-	chk, err := lang.Check(lang.MustParse(src))
+	// Eight single-state aggregates exactly fill MaxState: a
+	// single-member store spends no presence counter, so this fits.
+	fits := "SELECT COUNT, SUM(pkt_len), SUM(payload_len), SUM(tin), SUM(tout), SUM(qin), SUM(qout), SUM(tcpseq) GROUPBY srcip\n"
+	chk, err := lang.Check(lang.MustParse(fits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = Compile(chk); err != nil {
+		t.Errorf("eight single-state aggregates should fit MaxState: %v", err)
+	}
+
+	// A ninth pushes the stage's fused fold over the budget.
+	tooWide := "SELECT COUNT, SUM(pkt_len), SUM(payload_len), SUM(tin), SUM(tout), SUM(qin), SUM(qout), SUM(tcpseq), SUM(tcpflags) GROUPBY srcip\n"
+	chk, err = lang.Check(lang.MustParse(tooWide))
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, err = Compile(chk)
 	if err == nil {
 		t.Error("over-wide store accepted")
-	} else if !strings.Contains(err.Error(), "state words") {
+	} else if !strings.Contains(err.Error(), "state") {
 		t.Errorf("error %q should mention state budget", err)
 	}
 }

@@ -7,6 +7,7 @@ package compiler
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"perfq/internal/packet"
 	"perfq/internal/trace"
@@ -40,6 +41,11 @@ type KeySpec struct {
 	Packed bool
 	// widths per component (packed mode; derived columns use 8 bytes).
 	widths []int
+	// fiveTuple marks the canonical GROUPBY 5tuple spec, whose packed
+	// layout coincides with packet.FiveTuple.Pack — the datapath reads
+	// the record's header fields directly instead of dispatching through
+	// Record.Field five times per packet.
+	fiveTuple bool
 }
 
 // NumComponents returns how many key values the spec extracts.
@@ -63,6 +69,15 @@ func newKeySpecFields(fields []trace.FieldID) *KeySpec {
 		total += w
 	}
 	ks.Packed = total <= 16
+	if len(fields) == len(trace.FiveTupleFields) {
+		ks.fiveTuple = true
+		for i, f := range trace.FiveTupleFields {
+			if fields[i] != f {
+				ks.fiveTuple = false
+				break
+			}
+		}
+	}
 	return ks
 }
 
@@ -110,10 +125,57 @@ func (k *KeySpec) ValuesRow(row []float64, dst []float64) {
 	}
 }
 
-// Of extracts and packs a record's key in one step — the form routing
-// and partitioning code wants when it needs only the 128-bit key, not
-// the component values.
+// Of extracts and packs a record's key in one step — the form the
+// per-packet datapath and the shard router want when they need only the
+// 128-bit key, not the component values. Packed field keys skip the
+// component vector entirely; the float64 round-trip is kept so the key
+// bytes are bit-identical to Pack(Values(rec)) — the collector compares
+// keys formed from float64 rows.
 func (k *KeySpec) Of(rec *trace.Record) packet.Key128 {
+	if k.fiveTuple {
+		// Identical bytes to the generic packed path below: the widths
+		// (4,4,2,2,1 big-endian) match FiveTuple.Pack, and all five
+		// values are ≤ 32 bits so the float64 round-trip is lossless.
+		// Assembled from the header fields directly (no Record.Field
+		// dispatch) in a leaf helper small enough to inline.
+		return FiveTupleKey(rec)
+	}
+	return k.ofGeneric(rec)
+}
+
+// IsFiveTuple reports whether this is the canonical 5-tuple key, for
+// callers that want to pack with FiveTupleKey inline instead of paying
+// the Of call on a per-packet path.
+func (k *KeySpec) IsFiveTuple() bool { return k.fiveTuple }
+
+// FiveTupleKey packs the canonical flow key straight from the record as
+// two word stores (byte-identical to the copy/PutUint16 formulation; the
+// port bytes land big-endian via ReverseBytes16). It is a leaf small
+// enough to inline into per-packet loops.
+func FiveTupleKey(rec *trace.Record) packet.Key128 {
+	lo := uint64(binary.LittleEndian.Uint32(rec.SrcIP[:])) |
+		uint64(binary.LittleEndian.Uint32(rec.DstIP[:]))<<32
+	hi := uint64(bits.ReverseBytes16(rec.SrcPort)) |
+		uint64(bits.ReverseBytes16(rec.DstPort))<<16 |
+		uint64(rec.Proto)<<32
+	var key packet.Key128
+	binary.LittleEndian.PutUint64(key[0:8], lo)
+	binary.LittleEndian.PutUint64(key[8:16], hi)
+	return key
+}
+
+// ofGeneric is the non-5-tuple packing path.
+func (k *KeySpec) ofGeneric(rec *trace.Record) packet.Key128 {
+	if k.Packed && len(k.Fields) > 0 {
+		var key packet.Key128
+		off := 0
+		for i, f := range k.Fields {
+			w := k.widths[i]
+			putUint(key[off:off+w], uint64(int64(float64(rec.Field(f)))), w)
+			off += w
+		}
+		return key
+	}
 	nk := k.NumComponents()
 	var kv [8]float64
 	k.Values(rec, kv[:nk])
@@ -167,9 +229,23 @@ func (k *KeySpec) Unpack(key packet.Key128, dst []float64) {
 }
 
 func putUint(b []byte, v uint64, w int) {
-	for i := w - 1; i >= 0; i-- {
-		b[i] = byte(v)
-		v >>= 8
+	// Width-dispatched stores: the natural field widths are 1/2/4/8
+	// bytes, and this runs once per key component per packet on the
+	// datapath's key-packing path.
+	switch w {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.BigEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.BigEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.BigEndian.PutUint64(b, v)
+	default:
+		for i := w - 1; i >= 0; i-- {
+			b[i] = byte(v)
+			v >>= 8
+		}
 	}
 }
 

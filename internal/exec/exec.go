@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 
 	"perfq/internal/compiler"
 	"perfq/internal/fold"
@@ -56,16 +56,27 @@ func cmpFloat(a, b float64) int {
 
 // Sort orders rows lexicographically (NaN smallest) for deterministic
 // output: any permutation of the same multiset of rows sorts to the same
-// sequence.
+// sequence. The comparator is branch-minimal: the three float compares
+// decide every non-NaN case, and only the fall-through (all three false,
+// so NaN is involved) delegates to cmpFloat's total order.
 func (t *Table) Sort() {
-	sort.Slice(t.Rows, func(i, j int) bool {
-		a, b := t.Rows[i], t.Rows[j]
+	slices.SortFunc(t.Rows, func(a, b []float64) int {
 		for k := range a {
-			if c := cmpFloat(a[k], b[k]); c != 0 {
-				return c < 0
+			x, y := a[k], b[k]
+			if x < y {
+				return -1
+			}
+			if x > y {
+				return 1
+			}
+			if x == y {
+				continue
+			}
+			if c := cmpFloat(x, y); c != 0 {
+				return c
 			}
 		}
-		return false
+		return 0
 	})
 }
 
@@ -121,21 +132,55 @@ func (e *Engine) ProcessRecord(rec *trace.Record) {
 	}
 }
 
+// predCode evaluates a predicate, preferring its compiled code (nil
+// pred means match-all).
+func predCode(code *fold.Code, p fold.Pred, in *fold.Input) bool {
+	if code != nil {
+		return code.EvalBool(in, nil)
+	}
+	if p != nil {
+		return fold.EvalPred(p, in, nil)
+	}
+	return true
+}
+
+// exprCode evaluates an expression, preferring its compiled code.
+func exprCode(code *fold.Code, e fold.Expr, in *fold.Input) float64 {
+	if code != nil {
+		return code.Eval(in, nil)
+	}
+	return fold.EvalExpr(e, in, nil)
+}
+
+// stageWhere evaluates a stage's WHERE, preferring the compiled code.
+func stageWhere(st *compiler.Stage, in *fold.Input) bool {
+	return predCode(st.WhereCode, st.Where, in)
+}
+
+// stageCol evaluates output column i, preferring the compiled code.
+func stageCol(st *compiler.Stage, i int, in *fold.Input) float64 {
+	var code *fold.Code
+	if st.ColCodes != nil {
+		code = st.ColCodes[i]
+	}
+	return exprCode(code, st.Cols[i], in)
+}
+
 // processSelect streams one record through a select-over-T stage.
 func (e *Engine) processSelect(st *compiler.Stage, in *fold.Input) {
-	if st.Where != nil && !fold.EvalPred(st.Where, in, nil) {
+	if !stageWhere(st, in) {
 		return
 	}
 	row := make([]float64, len(st.Cols))
-	for i, c := range st.Cols {
-		row[i] = fold.EvalExpr(c, in, nil)
+	for i := range row {
+		row[i] = stageCol(st, i, in)
 	}
 	e.srows[st.Name] = append(e.srows[st.Name], row)
 }
 
 // processGroup streams one record through a group-over-T stage.
 func (e *Engine) processGroup(st *compiler.Stage, rec *trace.Record, in *fold.Input) {
-	if st.Where != nil && !fold.EvalPred(st.Where, in, nil) {
+	if !stageWhere(st, in) {
 		return
 	}
 	g := e.groups[st.Name]
@@ -214,8 +259,23 @@ func materializeGroup(st *compiler.Stage, groups map[packet.Key128]*groupEntry) 
 func GroupRow(st *compiler.Stage, keyVals, state []float64) []float64 {
 	row := make([]float64, 0, len(keyVals)+len(st.Out))
 	row = append(row, keyVals...)
-	for _, oc := range st.Out {
-		row = append(row, fold.EvalExpr(oc.Expr, &fold.Input{}, state))
+	return AppendOutCols(st, state, row)
+}
+
+// AppendOutCols appends a group stage's projected value columns to row —
+// the append-into-caller-storage form bulk materialization uses to build
+// rows in a slab.
+func AppendOutCols(st *compiler.Stage, state, row []float64) []float64 {
+	var in fold.Input
+	for i, oc := range st.Out {
+		switch {
+		case st.OutStateIdx != nil && st.OutStateIdx[i] >= 0:
+			row = append(row, state[st.OutStateIdx[i]])
+		case st.OutCodes != nil && st.OutCodes[i] != nil:
+			row = append(row, st.OutCodes[i].Eval(&in, state))
+		default:
+			row = append(row, fold.EvalExpr(oc.Expr, &in, state))
+		}
 	}
 	return row
 }
@@ -231,12 +291,12 @@ func (e *Engine) runDerived(st *compiler.Stage) (*Table, error) {
 	case compiler.KindSelect:
 		for _, row := range input.Rows {
 			in := fold.Input{Cols: row}
-			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+			if !stageWhere(st, &in) {
 				continue
 			}
 			out := make([]float64, len(st.Cols))
-			for i, c := range st.Cols {
-				out[i] = fold.EvalExpr(c, &in, nil)
+			for i := range out {
+				out[i] = stageCol(st, i, &in)
 			}
 			t.Rows = append(t.Rows, out)
 		}
@@ -245,7 +305,7 @@ func (e *Engine) runDerived(st *compiler.Stage) (*Table, error) {
 		nk := st.Key.NumComponents()
 		for _, row := range input.Rows {
 			in := fold.Input{Cols: row}
-			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+			if !stageWhere(st, &in) {
 				continue
 			}
 			var kv [8]float64
@@ -296,13 +356,17 @@ func (e *Engine) runJoin(st *compiler.Stage) (*Table, error) {
 		combined = append(combined, lrow...)
 		combined = append(combined, rrow...)
 		in := fold.Input{Cols: combined}
-		if st.JoinWhere != nil && !fold.EvalPred(st.JoinWhere, &in, nil) {
+		if !predCode(st.JoinWhereCode, st.JoinWhere, &in) {
 			continue
 		}
 		out := make([]float64, 0, k+len(st.JoinCols))
 		out = append(out, lrow[:k]...)
-		for _, c := range st.JoinCols {
-			out = append(out, fold.EvalExpr(c, &in, nil))
+		for i, c := range st.JoinCols {
+			var code *fold.Code
+			if st.JoinColCodes != nil {
+				code = st.JoinColCodes[i]
+			}
+			out = append(out, exprCode(code, c, &in))
 		}
 		t.Rows = append(t.Rows, out)
 	}
@@ -367,15 +431,29 @@ func RunParallel(plan *compiler.Plan, src trace.Source, n int) (map[string]*Tabl
 	for i := range workers {
 		workers[i] = New(plan)
 	}
-	keyed := make([]shard.KeyFunc, len(groupStgs))
+	// Stages sharing a GROUPBY key share one key extraction per record.
+	var keys []shard.KeyFunc
+	var keySpecs []*compiler.KeySpec
+	targets := make([]int, len(groupStgs))
 	for i, st := range groupStgs {
-		keyed[i] = st.Key.Of
+		targets[i] = -1
+		for g, ks := range keySpecs {
+			if ks.Equal(st.Key) {
+				targets[i] = g
+				break
+			}
+		}
+		if targets[i] < 0 {
+			keySpecs = append(keySpecs, st.Key)
+			keys = append(keys, st.Key.Of)
+			targets[i] = len(keys) - 1
+		}
 	}
 	var freeMask uint64
 	if len(selectStgs) > 0 {
 		freeMask = 1 << uint(len(groupStgs))
 	}
-	_, err := shard.Run(shard.Config{Shards: n, Keyed: keyed, FreeMask: freeMask}, src,
+	_, err := shard.Run(shard.Config{Shards: n, Keys: keys, Targets: targets, FreeMask: freeMask}, src,
 		func(s int, rec *trace.Record, mask uint64) {
 			w := workers[s]
 			in := fold.Input{Rec: rec}

@@ -1,0 +1,474 @@
+package fold
+
+import (
+	"fmt"
+	"math"
+
+	"perfq/internal/trace"
+)
+
+// This file lowers the fold IR to the flat bytecode of vm.go. Lowering is
+// a preorder flattening with a stack register discipline: an expression
+// compiles into a destination register using only registers above it as
+// temporaries, so the register high-water mark equals expression depth.
+// Statements compile to store/branch instructions over the live state
+// vector, which preserves the interpreter's sequential semantics (later
+// statements observe earlier assignments) for free.
+//
+// Exactness rules, enforced by the differential suite against eval.go:
+//
+//   - Arithmetic lowers in interpreter evaluation order (left operand
+//     first) onto the same float64 operations, so results are
+//     bit-identical.
+//   - Subexpressions without input or state references are folded at
+//     compile time BY the interpreter itself (EvalExpr on the closed
+//     subtree), so folding cannot diverge from it.
+//   - And/Or lower to both-sides evaluation: predicates are total and
+//     side-effect free, so skipping the interpreter's short circuit is
+//     unobservable.
+//   - CondExpr and If lower to real branches: only the taken arm
+//     executes, exactly like the interpreter.
+
+// compiler is the state of one lowering.
+type compiler struct {
+	code Code
+	err  error
+}
+
+// errTooDeep reports expression depth beyond the register file; callers
+// keep the tree interpreter for such programs.
+var errTooDeep = fmt.Errorf("fold: expression needs more than %d registers", maxRegs)
+
+// CompileProgram lowers a program body to bytecode. The returned code's
+// Run mutates a state vector exactly as Program.Update does.
+func CompileProgram(p *Program) (*Code, error) {
+	c := &compiler{}
+	c.code.name = p.Name
+	c.stmts(p.Body)
+	return c.finish()
+}
+
+// CompileExpr lowers an expression; the result lands in register 0.
+func CompileExpr(e Expr) (*Code, error) {
+	c := &compiler{}
+	c.code.name = e.String()
+	c.expr(e, 0)
+	return c.finish()
+}
+
+// CompilePred lowers a predicate; the 0/1 result lands in register 0.
+func CompilePred(p Pred) (*Code, error) {
+	c := &compiler{}
+	c.code.name = p.String()
+	c.pred(p, 0)
+	return c.finish()
+}
+
+func (c *compiler) finish() (*Code, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if len(c.code.ops) > math.MaxUint16 {
+		return nil, fmt.Errorf("fold: program too long for bytecode (%d ops)", len(c.code.ops))
+	}
+	code := c.code
+	return &code, nil
+}
+
+// emit appends one instruction and returns its index (for branch
+// patching).
+func (c *compiler) emit(op opcode, a, b, cc int) int {
+	c.code.ops = append(c.code.ops, instr{op: op, a: uint16(a), b: uint16(b), c: uint16(cc)})
+	return len(c.code.ops) - 1
+}
+
+// patch points the branch at index i to the current instruction.
+func (c *compiler) patch(i int) {
+	at := len(c.code.ops)
+	switch c.code.ops[i].op {
+	case opJmp:
+		c.code.ops[i].a = uint16(at)
+	case opJz:
+		c.code.ops[i].b = uint16(at)
+	}
+}
+
+// reg claims register dst, tracking the high-water mark.
+func (c *compiler) reg(dst int) bool {
+	if dst >= maxRegs {
+		if c.err == nil {
+			c.err = errTooDeep
+		}
+		return false
+	}
+	if dst+1 > c.code.nreg {
+		c.code.nreg = dst + 1
+	}
+	return true
+}
+
+// constIdx interns a constant (NaN-safe: pooled by bit pattern).
+func (c *compiler) constIdx(v float64) int {
+	bits := math.Float64bits(v)
+	for i, k := range c.code.consts {
+		if math.Float64bits(k) == bits {
+			return i
+		}
+	}
+	c.code.consts = append(c.code.consts, v)
+	return len(c.code.consts) - 1
+}
+
+// loadConst emits R[dst] = v.
+func (c *compiler) loadConst(v float64, dst int) {
+	if !c.reg(dst) {
+		return
+	}
+	c.emit(opConst, dst, c.constIdx(v), 0)
+}
+
+// stmts lowers a statement list.
+func (c *compiler) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Assign:
+			c.expr(s.RHS, 0)
+			c.emit(opStore, 0, s.Dst, 0)
+		case If:
+			c.pred(s.Cond, 0)
+			jz := c.emit(opJz, 0, 0, 0)
+			c.stmts(s.Then)
+			if len(s.Else) > 0 {
+				jmp := c.emit(opJmp, 0, 0, 0)
+				c.patch(jz)
+				c.stmts(s.Else)
+				c.patch(jmp)
+			} else {
+				c.patch(jz)
+			}
+		default:
+			if c.err == nil {
+				c.err = fmt.Errorf("fold: cannot compile statement %T", s)
+			}
+		}
+	}
+}
+
+// expr lowers e into register dst, using registers above dst as
+// temporaries.
+func (c *compiler) expr(e Expr, dst int) {
+	if c.err != nil {
+		return
+	}
+	// Closed subtrees fold at compile time using the interpreter itself,
+	// which makes folding exact by construction.
+	if e != nil && !exprHasRefs(e) {
+		c.loadConst(EvalExpr(e, nil, nil), dst)
+		return
+	}
+	switch e := e.(type) {
+	case Const:
+		c.loadConst(float64(e), dst)
+	case FieldRef:
+		if c.reg(dst) {
+			c.code.fields |= 1 << uint(e)
+			c.emit(opField, dst, int(e), 0)
+		}
+	case ColRef:
+		if c.reg(dst) {
+			c.emit(opCol, dst, int(e), 0)
+		}
+	case StateRef:
+		if c.reg(dst) {
+			c.emit(opState, dst, int(e), 0)
+		}
+	case Bin:
+		c.bin(e, dst)
+	case Neg:
+		c.expr(e.X, dst)
+		c.emit(opNeg, dst, dst, 0)
+	case Call:
+		switch e.Fn {
+		case FnMin, FnMax:
+			c.expr(e.Args[0], dst)
+			c.expr(e.Args[1], dst+1)
+			op := opMin
+			if e.Fn == FnMax {
+				op = opMax
+			}
+			c.emit(op, dst, dst, dst+1)
+		case FnAbs:
+			c.expr(e.Args[0], dst)
+			c.emit(opAbs, dst, dst, 0)
+		default:
+			c.err = fmt.Errorf("fold: cannot compile function %v", e.Fn)
+		}
+	case CondExpr:
+		c.pred(e.P, dst)
+		jz := c.emit(opJz, dst, 0, 0)
+		c.expr(e.T, dst)
+		jmp := c.emit(opJmp, 0, 0, 0)
+		c.patch(jz)
+		c.expr(e.E, dst)
+		c.patch(jmp)
+	default:
+		c.err = fmt.Errorf("fold: cannot compile expression %T", e)
+	}
+}
+
+// bin lowers a binary arithmetic node, fusing constant operands and
+// field-field subtraction into superinstructions. Evaluation-order
+// changes are unobservable (operands are pure and total) and constants
+// are folded by the interpreter itself, so results stay bit-identical to
+// EvalExpr.
+func (c *compiler) bin(e Bin, dst int) {
+	// lat-style field delta: one dispatch.
+	if e.Op == OpSub {
+		if lf, lok := e.L.(FieldRef); lok {
+			if rf, rok := e.R.(FieldRef); rok {
+				if c.reg(dst) {
+					c.code.fields |= 1<<uint(lf) | 1<<uint(rf)
+					c.emit(opSubFF, dst, int(lf), int(rf))
+				}
+				return
+			}
+		}
+	}
+	if validBinOp(e.Op) {
+		if !exprHasRefs(e.R) {
+			k := EvalExpr(e.R, nil, nil)
+			if e.Op == OpDiv && k == 0 {
+				// x/0 is 0 for every x (saturating ALU semantics).
+				c.loadConst(0, dst)
+				return
+			}
+			var op opcode
+			switch e.Op {
+			case OpAdd:
+				op = opAddK
+			case OpSub:
+				op = opSubK
+			case OpMul:
+				op = opMulK
+			case OpDiv:
+				op = opDivK
+			}
+			c.expr(e.L, dst)
+			c.emit(op, dst, dst, c.constIdx(k))
+			return
+		}
+		if !exprHasRefs(e.L) {
+			k := EvalExpr(e.L, nil, nil)
+			var op opcode
+			switch e.Op {
+			case OpAdd:
+				op = opAddK
+			case OpSub:
+				op = opKSub
+			case OpMul:
+				op = opMulK
+			case OpDiv:
+				op = opKDiv
+			}
+			c.expr(e.R, dst)
+			c.emit(op, dst, dst, c.constIdx(k))
+			return
+		}
+	}
+	c.expr(e.L, dst)
+	c.expr(e.R, dst+1)
+	var op opcode
+	switch e.Op {
+	case OpAdd:
+		op = opAdd
+	case OpSub:
+		op = opSub
+	case OpMul:
+		op = opMul
+	case OpDiv:
+		op = opDiv
+	default:
+		c.err = fmt.Errorf("fold: cannot compile operator %v", e.Op)
+		return
+	}
+	c.emit(op, dst, dst, dst+1)
+}
+
+// pred lowers p into register dst as 0/1.
+func (c *compiler) pred(p Pred, dst int) {
+	if c.err != nil {
+		return
+	}
+	switch p := p.(type) {
+	case BoolConst:
+		c.loadConst(bool01(bool(p)), dst)
+	case Cmp:
+		c.cmp(p, dst)
+	case And:
+		c.pred(p.L, dst)
+		c.pred(p.R, dst+1)
+		c.emit(opAnd, dst, dst, dst+1)
+	case Or:
+		c.pred(p.L, dst)
+		c.pred(p.R, dst+1)
+		c.emit(opOr, dst, dst, dst+1)
+	case Not:
+		c.pred(p.X, dst)
+		c.emit(opNot, dst, dst, 0)
+	default:
+		c.err = fmt.Errorf("fold: cannot compile predicate %T", p)
+	}
+}
+
+// validBinOp reports whether the operator is one of the four ALU ops
+// (fuzzed IR can carry out-of-range values, which the interpreter treats
+// as "yield 0"; those take the generic path and fail compilation).
+func validBinOp(op Op) bool { return op <= OpDiv }
+
+// validCmpOp is the comparison analogue of validBinOp.
+func validCmpOp(op CmpOp) bool { return op <= CmpGe }
+
+// cmpK maps a comparison to its const-right superinstruction.
+var cmpK = map[CmpOp]opcode{
+	CmpEq: opEqK, CmpNe: opNeK, CmpLt: opLtK, CmpLe: opLeK, CmpGt: opGtK, CmpGe: opGeK,
+}
+
+// cmpSwap mirrors a comparison (for const-left operands: K < x ⇔ x > K).
+var cmpSwap = map[CmpOp]CmpOp{
+	CmpEq: CmpEq, CmpNe: CmpNe, CmpLt: CmpGt, CmpLe: CmpGe, CmpGt: CmpLt, CmpGe: CmpLe,
+}
+
+// cmp lowers a comparison node, fusing constant operands.
+func (c *compiler) cmp(p Cmp, dst int) {
+	if validCmpOp(p.Op) {
+		if !exprHasRefs(p.R) {
+			k := EvalExpr(p.R, nil, nil)
+			c.expr(p.L, dst)
+			c.emit(cmpK[p.Op], dst, dst, c.constIdx(k))
+			return
+		}
+		if !exprHasRefs(p.L) {
+			k := EvalExpr(p.L, nil, nil)
+			c.expr(p.R, dst)
+			c.emit(cmpK[cmpSwap[p.Op]], dst, dst, c.constIdx(k))
+			return
+		}
+	}
+	c.expr(p.L, dst)
+	c.expr(p.R, dst+1)
+	var op opcode
+	switch p.Op {
+	case CmpEq:
+		op = opEq
+	case CmpNe:
+		op = opNe
+	case CmpLt:
+		op = opLt
+	case CmpLe:
+		op = opLe
+	case CmpGt:
+		op = opGt
+	case CmpGe:
+		op = opGe
+	default:
+		c.err = fmt.Errorf("fold: cannot compile comparison %v", p.Op)
+		return
+	}
+	c.emit(op, dst, dst, dst+1)
+}
+
+// exprHasRefs reports whether e reads the input row or state (false means
+// the subtree is a compile-time constant).
+func exprHasRefs(e Expr) bool {
+	switch e := e.(type) {
+	case nil, Const:
+		return false
+	case FieldRef, ColRef, StateRef:
+		return true
+	case Bin:
+		return exprHasRefs(e.L) || exprHasRefs(e.R)
+	case Neg:
+		return exprHasRefs(e.X)
+	case Call:
+		for _, a := range e.Args {
+			if exprHasRefs(a) {
+				return true
+			}
+		}
+		return false
+	case CondExpr:
+		return predHasRefs(e.P) || exprHasRefs(e.T) || exprHasRefs(e.E)
+	default:
+		return true // unknown nodes are conservatively non-constant
+	}
+}
+
+// exprReadsState reports whether e contains a StateRef.
+func exprReadsState(e Expr) bool {
+	switch e := e.(type) {
+	case nil, Const, FieldRef, ColRef:
+		return false
+	case StateRef:
+		return true
+	case Bin:
+		return exprReadsState(e.L) || exprReadsState(e.R)
+	case Neg:
+		return exprReadsState(e.X)
+	case Call:
+		for _, a := range e.Args {
+			if exprReadsState(a) {
+				return true
+			}
+		}
+		return false
+	case CondExpr:
+		return predReadsState(e.P) || exprReadsState(e.T) || exprReadsState(e.E)
+	default:
+		return true // unknown nodes conservatively depend on state
+	}
+}
+
+func predReadsState(p Pred) bool {
+	switch p := p.(type) {
+	case nil, BoolConst:
+		return false
+	case Cmp:
+		return exprReadsState(p.L) || exprReadsState(p.R)
+	case And:
+		return predReadsState(p.L) || predReadsState(p.R)
+	case Or:
+		return predReadsState(p.L) || predReadsState(p.R)
+	case Not:
+		return predReadsState(p.X)
+	default:
+		return true
+	}
+}
+
+func predHasRefs(p Pred) bool {
+	switch p := p.(type) {
+	case nil, BoolConst:
+		return false
+	case Cmp:
+		return exprHasRefs(p.L) || exprHasRefs(p.R)
+	case And:
+		return predHasRefs(p.L) || predHasRefs(p.R)
+	case Or:
+		return predHasRefs(p.L) || predHasRefs(p.R)
+	case Not:
+		return predHasRefs(p.X)
+	default:
+		return true
+	}
+}
+
+// FieldIDs expands a FieldMask into the field list it covers.
+func FieldIDs(mask uint32) []trace.FieldID {
+	var out []trace.FieldID
+	for f := 0; f < trace.NumFields; f++ {
+		if mask&(1<<uint(f)) != 0 {
+			out = append(out, trace.FieldID(f))
+		}
+	}
+	return out
+}

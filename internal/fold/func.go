@@ -43,6 +43,10 @@ func (m MergeKind) String() string {
 // linear-in-state analyzer or the built-in constructors.
 type Func struct {
 	Prog *Program
+	// Code is the program body compiled to bytecode (see vm.go), filled
+	// by EnsureCompiled. When non-nil it is the hot path; nil falls back
+	// to Native or the tree interpreter.
+	Code *Code
 	// Native, when non-nil, is a hand-written update used instead of the
 	// interpreter on hot paths. It must be semantically identical to Prog.
 	Native func(state []float64, in *Input)
@@ -65,6 +69,10 @@ func (f *Func) Init(state []float64) { f.Prog.Init(state) }
 
 // Update advances the accumulator by one input row.
 func (f *Func) Update(state []float64, in *Input) {
+	if f.Code != nil {
+		f.Code.Run(state, in)
+		return
+	}
 	if f.Native != nil {
 		f.Native(state, in)
 		return
@@ -72,11 +80,35 @@ func (f *Func) Update(state []float64, in *Input) {
 	f.Prog.Update(state, in)
 }
 
-// Interpreted returns a copy of f with the native fast path removed, for
-// differential testing of Native against Prog.
+// EnsureCompiled lowers the program body (and the linear-in-state
+// coefficient expressions, when present) to bytecode. Compilation failure
+// — e.g. an expression deeper than the VM register file — is not an
+// error: the fold simply keeps its interpreter path. Idempotent; call
+// from single-threaded setup code (plan compilation, store construction),
+// never concurrently with Update.
+func (f *Func) EnsureCompiled() {
+	if f.Code == nil {
+		if c, err := CompileProgram(f.Prog); err == nil {
+			f.Code = c
+		}
+	}
+	if f.Linear != nil {
+		f.Linear.EnsureCompiled()
+	}
+}
+
+// Interpreted returns a copy of f with the compiled and native fast paths
+// removed, for differential testing against the reference interpreter.
 func (f *Func) Interpreted() *Func {
 	g := *f
 	g.Native = nil
+	g.Code = nil
+	if g.Linear != nil {
+		ls := *g.Linear
+		ls.aCoef, ls.bCoef, ls.bProg = nil, nil, nil
+		ls.aDiag = false
+		g.Linear = &ls
+	}
 	return &g
 }
 

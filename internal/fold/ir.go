@@ -115,9 +115,16 @@ func (f Fn) String() string {
 // record (switch stage) or a derived row of column values (collector
 // stage). Exactly one of Rec/Cols is consulted depending on which
 // reference nodes the program uses.
+//
+// Fields, when non-nil, is a dense vector indexed by trace.FieldID with
+// the record's field values pre-extracted; the bytecode VM reads it
+// instead of switching on Rec.Field per reference. A caller that sets it
+// must populate every field the code it runs reads (Code.FieldMask); the
+// datapath extracts the plan-wide union once per record.
 type Input struct {
-	Rec  *trace.Record
-	Cols []float64
+	Rec    *trace.Record
+	Cols   []float64
+	Fields []float64
 }
 
 // Expr is an arithmetic expression over the current input and the state
@@ -315,10 +322,10 @@ func (p *Program) InitState() []float64 {
 // Init fills an existing vector with the initial state. len(state) must be
 // NumState.
 func (p *Program) Init(state []float64) {
-	for i := range state {
+	n := copy(state, p.S0)
+	for i := n; i < len(state); i++ {
 		state[i] = 0
 	}
-	copy(state, p.S0)
 }
 
 // Validate checks internal consistency: state indices in range, state

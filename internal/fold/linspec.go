@@ -29,6 +29,143 @@ type LinearSpec struct {
 	// history variable, in which case the datapath must snapshot each
 	// cache entry's first packet to merge exactly (see MergeWithFirstRec).
 	NeedsFirstPacket bool
+
+	// Compiled coefficients (EnsureCompiled): one entry per A cell
+	// (row-major) and per B entry. A coef with code == nil is the
+	// constant val — the common case for A, which is fully constant for
+	// every built-in (EWMA's A is [1-α]) — so the per-packet EvalA of the
+	// exact-merge hot path degenerates to a copy.
+	aCoef []coef
+	bCoef []coef
+	// bProg evaluates the whole B vector in one bytecode run (results
+	// stored into the destination vector via the program's state slot).
+	// Built only when no B entry reads state — history-referencing
+	// coefficients must see the pre-update state, which the per-entry
+	// path provides.
+	bProg *Code
+	// aDiag is true when every off-diagonal A entry is the constant 0 —
+	// true for every fused builtin combination (EWMA+count, sum+count,
+	// presence counters, …), since cross-variable coupling only arises
+	// from folds that mix state variables. Diagonal A means diagonal P,
+	// so the per-packet work drops from two m×m products to m fused
+	// multiply-adds.
+	aDiag bool
+}
+
+// coef is one compiled coefficient: bytecode, or a constant when code is
+// nil.
+type coef struct {
+	code *Code
+	val  float64
+}
+
+// compileCoef lowers one coefficient expression (nil ⇒ the constant 0).
+// ok is false when the expression needs the tree interpreter.
+func compileCoef(e Expr) (coef, bool) {
+	if e == nil {
+		return coef{}, true
+	}
+	if !exprHasRefs(e) {
+		return coef{val: EvalExpr(e, nil, nil)}, true
+	}
+	code, err := CompileExpr(e)
+	if err != nil {
+		return coef{}, false
+	}
+	return coef{code: code}, true
+}
+
+// EnsureCompiled lowers every coefficient expression to bytecode (or a
+// folded constant). On any compilation failure the spec keeps the tree
+// interpreter for all coefficients — mixing paths would complicate the
+// differential story for no gain. Idempotent; call from single-threaded
+// setup code only.
+func (ls *LinearSpec) EnsureCompiled() {
+	if ls.aCoef != nil {
+		return
+	}
+	m := ls.Dim()
+	a := make([]coef, 0, m*m)
+	b := make([]coef, 0, m)
+	for _, row := range ls.A {
+		for _, e := range row {
+			c, ok := compileCoef(e)
+			if !ok {
+				return
+			}
+			a = append(a, c)
+		}
+	}
+	for _, e := range ls.B {
+		c, ok := compileCoef(e)
+		if !ok {
+			return
+		}
+		b = append(b, c)
+	}
+	ls.aCoef, ls.bCoef = a, b
+	ls.aDiag = true
+	for i := 0; i < m && ls.aDiag; i++ {
+		for j := 0; j < m; j++ {
+			if i != j && (a[i*m+j].code != nil || a[i*m+j].val != 0) {
+				ls.aDiag = false
+				break
+			}
+		}
+	}
+	ls.compileBProg()
+}
+
+// compileBProg fuses the B entries into one program so the per-packet
+// hot path pays one VM invocation instead of one per entry.
+func (ls *LinearSpec) compileBProg() {
+	if len(ls.B) == 0 {
+		return
+	}
+	stmts := make([]Stmt, 0, len(ls.B))
+	for i, e := range ls.B {
+		if e == nil {
+			e = Const(0)
+		}
+		if exprReadsState(e) {
+			return
+		}
+		stmts = append(stmts, Assign{Dst: i, RHS: e})
+	}
+	prog := &Program{Name: "B", NumState: len(ls.B), Body: stmts}
+	if code, err := CompileProgram(prog); err == nil {
+		ls.bProg = code
+	}
+}
+
+// Scalar exposes the fully-compiled 1×1 history-free form — constant A,
+// stateless B — so a caller on the per-packet path can fuse the whole
+// update (state' = a·state + b, P' = a·P) inline without going through
+// UpdateLinear. ok is false unless EnsureCompiled succeeded and the spec
+// has that shape. When bCode is nil the B term is the constant bConst;
+// otherwise evaluate bCode with a nil state (B reads none).
+func (ls *LinearSpec) Scalar() (a float64, bCode *Code, bConst float64, ok bool) {
+	if !ls.aDiag || len(ls.bCoef) != 1 || ls.aCoef[0].code != nil || ls.NeedsFirstPacket {
+		return 0, nil, 0, false
+	}
+	return ls.aCoef[0].val, ls.bCoef[0].code, ls.bCoef[0].val, true
+}
+
+// FieldMask returns the union of raw-record fields the compiled
+// coefficients read (zero until EnsureCompiled succeeds).
+func (ls *LinearSpec) FieldMask() uint32 {
+	var mask uint32
+	for _, c := range ls.aCoef {
+		if c.code != nil {
+			mask |= c.code.FieldMask()
+		}
+	}
+	for _, c := range ls.bCoef {
+		if c.code != nil {
+			mask |= c.code.FieldMask()
+		}
+	}
+	return mask
 }
 
 // Dim returns the state dimension m.
@@ -146,6 +283,16 @@ func evalCoef(e Expr, in *Input, state []float64) float64 {
 // EvalA fills dst (row-major m×m) with this packet's A matrix, evaluated
 // against the pre-update state.
 func (ls *LinearSpec) EvalA(in *Input, state, dst []float64) {
+	if ls.aCoef != nil {
+		for i := range ls.aCoef {
+			if c := &ls.aCoef[i]; c.code != nil {
+				dst[i] = c.code.Eval(in, state)
+			} else {
+				dst[i] = c.val
+			}
+		}
+		return
+	}
 	m := ls.Dim()
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
@@ -157,13 +304,39 @@ func (ls *LinearSpec) EvalA(in *Input, state, dst []float64) {
 // EvalB fills dst (length m) with this packet's B vector, evaluated
 // against the pre-update state.
 func (ls *LinearSpec) EvalB(in *Input, state, dst []float64) {
+	if ls.bProg != nil {
+		ls.bProg.Run(dst, in)
+		return
+	}
+	if ls.bCoef != nil {
+		for i := range ls.bCoef {
+			if c := &ls.bCoef[i]; c.code != nil {
+				dst[i] = c.code.Eval(in, state)
+			} else {
+				dst[i] = c.val
+			}
+		}
+		return
+	}
 	for i := 0; i < ls.Dim(); i++ {
 		dst[i] = evalCoef(ls.B[i], in, state)
 	}
 }
 
+// InitP fills p (row-major m×m) with the insertion packet's A matrix,
+// evaluated against the pre-update state — the P value a cache entry
+// starts with when no coefficient references history variables. The
+// running product then covers the whole epoch including its first
+// packet, so evictions merge with MergeLinearState directly and the
+// datapath never snapshots first packets for such folds.
+func (ls *LinearSpec) InitP(p []float64, in *Input, state []float64) {
+	ls.EvalA(in, state, p)
+}
+
 // IdentityP fills p (row-major m×m) with the identity matrix — the P value
-// a cache entry starts with on insertion.
+// a cache entry starts with on insertion when coefficients reference
+// history variables (the first packet is snapshotted and replayed at
+// merge time instead; see MergeWithFirstRec).
 func IdentityP(p []float64, m int) {
 	for i := range p {
 		p[i] = 0
@@ -203,14 +376,64 @@ func StepP(p, a, scratch []float64, m int) {
 // tests enforce this.
 func (ls *LinearSpec) UpdateLinear(state, p []float64, in *Input, aScratch, mScratch []float64) {
 	m := ls.Dim()
+	if ls.aDiag && m == 1 {
+		// Scalar fast path: evaluate the two coefficients straight into
+		// registers — no scratch slices, no store ops. Same arithmetic
+		// as the general diagonal path below.
+		a, b := ls.aCoef[0].val, ls.bCoef[0].val
+		if c := ls.aCoef[0].code; c != nil {
+			a = c.Eval(in, state)
+		}
+		if c := ls.bCoef[0].code; c != nil {
+			b = c.Eval(in, state)
+		}
+		state[0] = a*state[0] + b
+		if p != nil {
+			p[0] = a * p[0]
+		}
+		return
+	}
+	if ls.aDiag {
+		// Diagonal A (every fused builtin): S and P stay decoupled per
+		// state variable, and P remains diagonal, so one fused
+		// multiply-add per variable replaces both m×m products. The
+		// off-diagonal P entries are exact zeros either way. The caller's
+		// scratch (m·m ≥ m each) holds the per-packet coefficients, so
+		// nothing is zeroed or allocated here.
+		av, bv := aScratch[:m], mScratch[:m]
+		for i := 0; i < m; i++ {
+			c := &ls.aCoef[i*m+i]
+			if c.code != nil {
+				av[i] = c.code.Eval(in, state)
+			} else {
+				av[i] = c.val
+			}
+		}
+		ls.EvalB(in, state, bv)
+		for i := 0; i < m; i++ {
+			state[i] = av[i]*state[i] + bv[i]
+			if p != nil {
+				p[i*m+i] = av[i] * p[i*m+i]
+			}
+		}
+		return
+	}
+	var ns, bs [MaxState]float64
 	ls.EvalA(in, state, aScratch)
-	var ns [MaxState]float64
+	ls.EvalB(in, state, bs[:m])
+	if m == 1 {
+		state[0] = aScratch[0]*state[0] + bs[0]
+		if p != nil {
+			p[0] = aScratch[0] * p[0]
+		}
+		return
+	}
 	for i := 0; i < m; i++ {
 		var acc float64
 		for k := 0; k < m; k++ {
 			acc += aScratch[i*m+k] * state[k]
 		}
-		ns[i] = acc + evalCoef(ls.B[i], in, state)
+		ns[i] = acc + bs[i]
 	}
 	copy(state[:m], ns[:m])
 	if p != nil {

@@ -1,0 +1,175 @@
+package fold
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"perfq/internal/trace"
+)
+
+// irGen decodes a byte stream into bounded random fold IR. The decoder
+// is total: any input yields a valid program (depth- and state-bounded),
+// so every fuzz input exercises the compiler and both evaluators.
+type irGen struct {
+	data []byte
+	pos  int
+}
+
+func (g *irGen) byte() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *irGen) float() float64 {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = g.byte()
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+// fuzzFields is the field palette the generator draws from.
+var fuzzFields = []trace.FieldID{
+	trace.FieldTin, trace.FieldTout, trace.FieldPktLen,
+	trace.FieldTCPSeq, trace.FieldPayloadLen, trace.FieldProto,
+}
+
+const fuzzStates = 3
+const fuzzCols = 4
+
+func (g *irGen) expr(depth int) Expr {
+	if depth <= 0 {
+		switch g.byte() % 4 {
+		case 0:
+			return Const(g.float())
+		case 1:
+			return FieldRef(fuzzFields[int(g.byte())%len(fuzzFields)])
+		case 2:
+			return ColRef(int(g.byte()) % fuzzCols)
+		default:
+			return StateRef(int(g.byte()) % fuzzStates)
+		}
+	}
+	switch g.byte() % 8 {
+	case 0:
+		return Const(g.float())
+	case 1:
+		return FieldRef(fuzzFields[int(g.byte())%len(fuzzFields)])
+	case 2:
+		return StateRef(int(g.byte()) % fuzzStates)
+	case 3:
+		return Bin{Op: Op(g.byte() % 4), L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	case 4:
+		return Neg{X: g.expr(depth - 1)}
+	case 5:
+		if g.byte()%3 == 0 {
+			return Call{Fn: FnAbs, Args: []Expr{g.expr(depth - 1)}}
+		}
+		fn := FnMin
+		if g.byte()%2 == 0 {
+			fn = FnMax
+		}
+		return Call{Fn: fn, Args: []Expr{g.expr(depth - 1), g.expr(depth - 1)}}
+	case 6:
+		return CondExpr{P: g.pred(depth - 1), T: g.expr(depth - 1), E: g.expr(depth - 1)}
+	default:
+		return ColRef(int(g.byte()) % fuzzCols)
+	}
+}
+
+func (g *irGen) pred(depth int) Pred {
+	if depth <= 0 {
+		return Cmp{Op: CmpOp(g.byte() % 6), L: g.expr(0), R: g.expr(0)}
+	}
+	switch g.byte() % 5 {
+	case 0:
+		return BoolConst(g.byte()%2 == 0)
+	case 1:
+		return And{L: g.pred(depth - 1), R: g.pred(depth - 1)}
+	case 2:
+		return Or{L: g.pred(depth - 1), R: g.pred(depth - 1)}
+	case 3:
+		return Not{X: g.pred(depth - 1)}
+	default:
+		return Cmp{Op: CmpOp(g.byte() % 6), L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	}
+}
+
+func (g *irGen) stmts(depth, n int) []Stmt {
+	out := make([]Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		if depth > 0 && g.byte()%4 == 0 {
+			out = append(out, If{
+				Cond: g.pred(depth - 1),
+				Then: g.stmts(depth-1, 1+int(g.byte())%2),
+				Else: g.stmts(depth-1, int(g.byte())%2),
+			})
+			continue
+		}
+		out = append(out, Assign{Dst: int(g.byte()) % fuzzStates, RHS: g.expr(depth)})
+	}
+	return out
+}
+
+// FuzzFoldVM holds the bytecode VM to bit-identical agreement with the
+// reference tree interpreter on randomly generated programs and inputs.
+func FuzzFoldVM(f *testing.F) {
+	f.Add([]byte{}, int64(0), int64(0), uint32(0), 0.0, 0.0)
+	f.Add([]byte{3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, int64(10), int64(25), uint32(1500), 1.5, -2.5)
+	f.Add([]byte{6, 1, 4, 2, 250, 9, 9, 9, 3, 3, 3, 3, 0, 255, 17}, int64(5), trace.Infinity, uint32(64), math.Inf(1), 0.0)
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}, int64(-3), int64(7), uint32(9000), math.NaN(), 1e300)
+
+	f.Fuzz(func(t *testing.T, ir []byte, tin, tout int64, pktLen uint32, c0, c1 float64) {
+		g := &irGen{data: ir}
+		prog := &Program{
+			Name:     "fuzz",
+			NumState: fuzzStates,
+			S0:       []float64{g.float(), g.float(), g.float()},
+			Body:     g.stmts(3, 1+int(g.byte())%3),
+		}
+		if prog.Validate() != nil {
+			return
+		}
+		code, err := CompileProgram(prog)
+		if err != nil {
+			return // deeper than the register file: interpreter-only
+		}
+		rec := trace.Record{Tin: tin, Tout: tout, PktLen: pktLen}
+		in := Input{Rec: &rec, Cols: []float64{c0, c1, c0 * c1, c0 - c1}}
+
+		sv := prog.InitState()
+		si := prog.InitState()
+		for step := 0; step < 3; step++ {
+			code.Run(sv, &in)
+			prog.Update(si, &in)
+			for i := range sv {
+				if math.Float64bits(sv[i]) != math.Float64bits(si[i]) {
+					t.Fatalf("step %d state[%d]: vm=%x interp=%x\nprogram: %v\ncode:\n%v",
+						step, i, math.Float64bits(sv[i]), math.Float64bits(si[i]), prog, code)
+				}
+			}
+		}
+
+		// The dense-field path must agree with direct record reads.
+		var fields [trace.NumFields]float64
+		for _, fid := range FieldIDs(code.FieldMask()) {
+			fields[fid] = float64(rec.Field(fid))
+		}
+		dense := in
+		dense.Fields = fields[:]
+		sd := prog.InitState()
+		for step := 0; step < 3; step++ {
+			code.Run(sd, &dense)
+		}
+		for i := range sd {
+			if math.Float64bits(sd[i]) != math.Float64bits(sv[i]) {
+				t.Fatalf("dense state[%d]: %x vs %x", i, math.Float64bits(sd[i]), math.Float64bits(sv[i]))
+			}
+		}
+	})
+}

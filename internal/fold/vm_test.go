@@ -1,0 +1,302 @@
+package fold
+
+import (
+	"math"
+	"testing"
+
+	"perfq/internal/trace"
+)
+
+// ---- differential helpers ----
+
+// sampleRecords covers the value classes field expressions meet: zeros,
+// small ints, large timestamps, and the drop sentinel.
+func sampleRecords() []trace.Record {
+	return []trace.Record{
+		{},
+		{Tin: 10, Tout: 25, PktLen: 1500, TCPSeq: 7, PayloadLen: 512},
+		{Tin: 1e9, Tout: 2e9, PktLen: 64, TCPSeq: 1 << 30},
+		{Tin: 5, Tout: trace.Infinity, PktLen: 9000},
+		{Tin: 123456789, Tout: 123456790, TCPSeq: 4294967295, PayloadLen: 1},
+	}
+}
+
+// eqBits is bit-exact float equality (NaN == NaN, +0 != -0).
+func eqBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// diffProgram runs code and interpreter over the same record stream and
+// asserts bit-identical state trajectories.
+func diffProgram(t *testing.T, p *Program, recs []trace.Record) {
+	t.Helper()
+	code, err := CompileProgram(p)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", p.Name, err)
+	}
+	sv := make([]float64, p.NumState)
+	si := make([]float64, p.NumState)
+	p.Init(sv)
+	p.Init(si)
+	for r := range recs {
+		in := Input{Rec: &recs[r]}
+		code.Run(sv, &in)
+		p.Update(si, &in)
+		for i := range sv {
+			if !eqBits(sv[i], si[i]) {
+				t.Fatalf("%s: record %d: state[%d] vm=%v interp=%v\ncode:\n%v",
+					p.Name, r, i, sv[i], si[i], code)
+			}
+		}
+	}
+}
+
+// ---- built-in and hand-written programs ----
+
+func TestVMMatchesInterpreterBuiltins(t *testing.T) {
+	lat := Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)}
+	for _, f := range []*Func{
+		Count(),
+		Sum(lat),
+		Max(FieldRef(trace.FieldPktLen)),
+		Min(FieldRef(trace.FieldPktLen)),
+		Avg(lat),
+		Ewma(lat, 0.125),
+	} {
+		diffProgram(t, f.Prog, sampleRecords())
+	}
+}
+
+func TestVMMatchesInterpreterControlFlow(t *testing.T) {
+	// Exercises If/Else, CondExpr, And/Or/Not, min/max/abs, division by
+	// zero, negation, and constant folding in one program.
+	p := &Program{
+		Name:     "kitchen-sink",
+		NumState: 4,
+		Body: []Stmt{
+			Assign{Dst: 0, RHS: Bin{Op: OpAdd, L: StateRef(0), R: Const(1)}},
+			If{
+				Cond: And{
+					L: Cmp{Op: CmpGt, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)},
+					R: Not{X: Cmp{Op: CmpEq, L: FieldRef(trace.FieldPktLen), R: Const(0)}},
+				},
+				Then: []Stmt{
+					Assign{Dst: 1, RHS: Bin{
+						Op: OpDiv,
+						L:  Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)},
+						R:  FieldRef(trace.FieldPktLen),
+					}},
+				},
+				Else: []Stmt{
+					Assign{Dst: 1, RHS: Neg{X: StateRef(1)}},
+				},
+			},
+			Assign{Dst: 2, RHS: Call{Fn: FnMax, Args: []Expr{
+				StateRef(2),
+				Call{Fn: FnAbs, Args: []Expr{Bin{Op: OpSub, L: StateRef(1), R: Const(3)}}},
+			}}},
+			Assign{Dst: 3, RHS: CondExpr{
+				P: Or{
+					L: Cmp{Op: CmpLe, L: StateRef(0), R: Const(2)},
+					R: BoolConst(false),
+				},
+				T: Bin{Op: OpMul, L: Const(2), R: Bin{Op: OpAdd, L: Const(1), R: Const(2)}}, // folds to 6
+				E: Bin{Op: OpDiv, L: StateRef(3), R: Const(0)},                              // /0 -> 0
+			}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	diffProgram(t, p, sampleRecords())
+}
+
+func TestVMExprAndPredMatchInterpreter(t *testing.T) {
+	in := Input{Cols: []float64{3, -7, 0.5, math.NaN()}}
+	exprs := []Expr{
+		Bin{Op: OpMul, L: ColRef(0), R: ColRef(1)},
+		Bin{Op: OpDiv, L: ColRef(0), R: ColRef(3)},
+		Call{Fn: FnMin, Args: []Expr{ColRef(2), ColRef(3)}},
+		CondExpr{P: Cmp{Op: CmpLt, L: ColRef(1), R: Const(0)}, T: Neg{X: ColRef(1)}, E: ColRef(0)},
+		Bin{Op: OpAdd, L: ColRef(0), R: Const(2.5)},
+		Bin{Op: OpSub, L: Const(2.5), R: ColRef(0)},
+	}
+	for _, e := range exprs {
+		code, err := CompileExpr(e)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if got, want := code.Eval(&in, nil), EvalExpr(e, &in, nil); !eqBits(got, want) {
+			t.Errorf("%v: vm=%v interp=%v", e, got, want)
+		}
+	}
+	preds := []Pred{
+		Cmp{Op: CmpNe, L: ColRef(3), R: ColRef(3)},
+		And{L: Cmp{Op: CmpLt, L: ColRef(0), R: Const(10)}, R: Cmp{Op: CmpGe, L: ColRef(1), R: Const(-10)}},
+		Or{L: BoolConst(false), R: Not{X: Cmp{Op: CmpEq, L: ColRef(2), R: Const(0.5)}}},
+	}
+	for _, p := range preds {
+		code, err := CompilePred(p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got, want := code.EvalBool(&in, nil), EvalPred(p, &in, nil); got != want {
+			t.Errorf("%v: vm=%v interp=%v", p, got, want)
+		}
+	}
+}
+
+// TestVMDenseFieldsMatchDirect: the two opField paths (dense vector vs
+// Record.Field dispatch) must agree.
+func TestVMDenseFieldsMatchDirect(t *testing.T) {
+	e := Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)}
+	code, err := CompileExpr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords() {
+		rec := rec
+		direct := Input{Rec: &rec}
+		var fields [trace.NumFields]float64
+		for _, f := range FieldIDs(code.FieldMask()) {
+			fields[f] = float64(rec.Field(f))
+		}
+		dense := Input{Rec: &rec, Fields: fields[:]}
+		if a, b := code.Eval(&direct, nil), code.Eval(&dense, nil); !eqBits(a, b) {
+			t.Errorf("dense=%v direct=%v", b, a)
+		}
+	}
+}
+
+func TestVMRegisterOverflowFallsBack(t *testing.T) {
+	// Build an expression deeper than the register file: each level adds
+	// a right-leaning operand, consuming one more register.
+	var e Expr = Const(1)
+	for i := 0; i < maxRegs+2; i++ {
+		e = Bin{Op: OpAdd, L: ColRef(0), R: e}
+	}
+	if _, err := CompileExpr(e); err == nil {
+		t.Fatal("expected register overflow error")
+	}
+	f := &Func{Prog: &Program{Name: "deep", NumState: 1, Body: []Stmt{Assign{Dst: 0, RHS: e}}}}
+	f.EnsureCompiled()
+	if f.Code != nil {
+		t.Fatal("over-deep program should keep a nil Code")
+	}
+	// The interpreter still runs it.
+	in := Input{Cols: []float64{2}}
+	st := []float64{0}
+	f.Update(st, &in)
+	if want := float64(2*(maxRegs+2) + 1); st[0] != want {
+		t.Fatalf("interpreter fallback = %v, want %v", st[0], want)
+	}
+}
+
+// TestLinearCompiledCoefficients: compiled EvalA/EvalB/UpdateLinear match
+// the uncompiled spec bit for bit.
+func TestLinearCompiledCoefficients(t *testing.T) {
+	lat := Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)}
+	for _, f := range []*Func{Count(), Sum(lat), Avg(lat), Ewma(lat, 0.25)} {
+		m := f.StateLen()
+		compiled := *f.Linear
+		compiled.EnsureCompiled()
+		plain := f.Interpreted().Linear
+		for _, rec := range sampleRecords() {
+			rec := rec
+			in := Input{Rec: &rec}
+			state := make([]float64, m)
+			for i := range state {
+				state[i] = float64(i) + 0.5
+			}
+			ac, ap := make([]float64, m*m), make([]float64, m*m)
+			compiled.EvalA(&in, state, ac)
+			plain.EvalA(&in, state, ap)
+			bc, bp := make([]float64, m), make([]float64, m)
+			compiled.EvalB(&in, state, bc)
+			plain.EvalB(&in, state, bp)
+			for i := range ac {
+				if !eqBits(ac[i], ap[i]) {
+					t.Fatalf("%s: A[%d] compiled=%v plain=%v", f.Name(), i, ac[i], ap[i])
+				}
+			}
+			for i := range bc {
+				if !eqBits(bc[i], bp[i]) {
+					t.Fatalf("%s: B[%d] compiled=%v plain=%v", f.Name(), i, bc[i], bp[i])
+				}
+			}
+
+			sc := append([]float64(nil), state...)
+			si := append([]float64(nil), state...)
+			pc := make([]float64, m*m)
+			pi := make([]float64, m*m)
+			IdentityP(pc, m)
+			IdentityP(pi, m)
+			scratchA, scratchM := make([]float64, m*m), make([]float64, m*m)
+			compiled.UpdateLinear(sc, pc, &in, scratchA, scratchM)
+			plain.UpdateLinear(si, pi, &in, scratchA, scratchM)
+			for i := range sc {
+				if !eqBits(sc[i], si[i]) {
+					t.Fatalf("%s: state[%d] compiled=%v plain=%v", f.Name(), i, sc[i], si[i])
+				}
+			}
+			for i := range pc {
+				if !eqBits(pc[i], pi[i]) {
+					t.Fatalf("%s: P[%d] compiled=%v plain=%v", f.Name(), i, pc[i], pi[i])
+				}
+			}
+		}
+	}
+}
+
+// ---- allocation discipline ----
+
+func TestVMZeroAllocs(t *testing.T) {
+	lat := Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)}
+	f := Ewma(lat, 0.125)
+	f.EnsureCompiled()
+	rec := trace.Record{Tin: 3, Tout: 17}
+	in := Input{Rec: &rec}
+	st := []float64{0}
+	if n := testing.AllocsPerRun(1000, func() { f.Code.Run(st, &in) }); n != 0 {
+		t.Errorf("Code.Run allocates %v per run", n)
+	}
+	code, err := CompilePred(Cmp{Op: CmpGt, L: FieldRef(trace.FieldTout), R: Const(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() { code.EvalBool(&in, nil) }); n != 0 {
+		t.Errorf("Code.EvalBool allocates %v per run", n)
+	}
+	p := make([]float64, 1)
+	p[0] = 1
+	aS, mS := make([]float64, 1), make([]float64, 1)
+	if n := testing.AllocsPerRun(1000, func() { f.Linear.UpdateLinear(st, p, &in, aS, mS) }); n != 0 {
+		t.Errorf("UpdateLinear allocates %v per run", n)
+	}
+}
+
+// ---- benchmarks ----
+
+// BenchmarkFoldEval compares the tree interpreter against the bytecode
+// VM on the paper's running EWMA example (the per-packet state update).
+func BenchmarkFoldEval(b *testing.B) {
+	lat := Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)}
+	f := Ewma(lat, 0.125)
+	rec := trace.Record{Tin: 3, Tout: 17}
+	in := Input{Rec: &rec}
+	st := []float64{0}
+
+	b.Run("interpreter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Prog.Update(st, &in)
+		}
+	})
+	b.Run("vm", func(b *testing.B) {
+		f.EnsureCompiled()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Code.Run(st, &in)
+		}
+	})
+}

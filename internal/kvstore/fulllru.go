@@ -12,11 +12,12 @@ import (
 // O(1) regardless of capacity. The paper notes a full LRU is impractical
 // in silicon; it is simulated here as Figure 5's lower bound.
 type fullLRU struct {
-	cfg   Config
-	geom  Geometry
-	cap   int
-	m     int
-	exact bool
+	cfg       Config
+	geom      Geometry
+	cap       int
+	m         int
+	exact     bool
+	needFirst bool // exact merge with history coefficients: snapshot pkt 1
 
 	index map[packet.Key128]int32 // key -> slot
 
@@ -36,6 +37,7 @@ type fullLRU struct {
 	stats    Stats
 	aScratch []float64
 	mScratch []float64
+	ev       Eviction // reused eviction payload (fields are borrowed anyway)
 }
 
 func newFullLRU(cfg Config) *fullLRU {
@@ -60,8 +62,11 @@ func newFullLRU(cfg Config) *fullLRU {
 		c.free = append(c.free, int32(i))
 	}
 	if cfg.ExactMerge {
+		c.needFirst = cfg.Fold.Linear.NeedsFirstPacket
 		c.prod = make([]float64, capacity*m*m)
-		c.first = make([]trace.Record, capacity)
+		if c.needFirst {
+			c.first = make([]trace.Record, capacity)
+		}
 		c.aScratch = make([]float64, m*m)
 		c.mScratch = make([]float64, m*m)
 	}
@@ -110,7 +115,7 @@ func (c *fullLRU) pushFront(slot int32) {
 }
 
 // Process implements Cache.
-func (c *fullLRU) Process(key packet.Key128, in *fold.Input) {
+func (c *fullLRU) Process(key packet.Key128, in *fold.Input) bool {
 	c.stats.Accesses++
 	if slot, ok := c.index[key]; ok {
 		c.stats.Hits++
@@ -124,7 +129,7 @@ func (c *fullLRU) Process(key packet.Key128, in *fold.Input) {
 			c.unlink(slot)
 			c.pushFront(slot)
 		}
-		return
+		return false
 	}
 
 	var slot int32
@@ -143,30 +148,38 @@ func (c *fullLRU) Process(key packet.Key128, in *fold.Input) {
 	c.index[key] = slot
 	st := c.slotState(slot)
 	c.cfg.Fold.Init(st)
-	c.cfg.Fold.Update(st, in)
 	if c.exact {
-		fold.IdentityP(c.slotProd(slot), c.m)
-		c.first[slot] = *in.Rec
+		if c.needFirst {
+			fold.IdentityP(c.slotProd(slot), c.m)
+			c.first[slot] = *in.Rec
+		} else {
+			c.cfg.Fold.Linear.InitP(c.slotProd(slot), in, st)
+		}
 	}
+	c.cfg.Fold.Update(st, in)
 	c.pushFront(slot)
 	c.stats.Inserts++
+	return true
 }
 
-// emit delivers an eviction callback for slot.
+// emit delivers an eviction callback for slot, reusing the cache's
+// scratch Eviction (the payload's slices are borrowed anyway).
 func (c *fullLRU) emit(slot int32, reason EvictReason) {
 	if c.cfg.OnEvict == nil {
 		return
 	}
-	ev := Eviction{
+	c.ev = Eviction{
 		Key:    c.keys[slot],
 		State:  c.slotState(slot),
 		Reason: reason,
 	}
 	if c.exact {
-		ev.P = c.slotProd(slot)
-		ev.FirstRec = &c.first[slot]
+		c.ev.P = c.slotProd(slot)
+		if c.needFirst {
+			c.ev.FirstRec = &c.first[slot]
+		}
 	}
-	c.cfg.OnEvict(&ev)
+	c.cfg.OnEvict(&c.ev)
 }
 
 // Flush implements Cache: drains entries MRU-first.

@@ -175,8 +175,10 @@ func (s Stats) EvictionRate() float64 {
 type Cache interface {
 	// Process applies one packet: a hit updates the key's entry in place;
 	// a miss initializes a fresh entry, evicting the bucket's LRU victim
-	// if the bucket is full.
-	Process(key packet.Key128, in *fold.Input)
+	// if the bucket is full. It reports whether the packet initialized a
+	// fresh entry (a miss), which lets the datapath do key-metadata
+	// bookkeeping off the steady-state hit path.
+	Process(key packet.Key128, in *fold.Input) (inserted bool)
 	// Flush evicts every resident entry (Reason = EvictFlush) in
 	// deterministic order and empties the cache.
 	Flush()
@@ -201,6 +203,12 @@ func New(cfg Config) (Cache, error) {
 	if cfg.ExactMerge && (cfg.Fold.Merge != fold.MergeLinear || cfg.Fold.Linear == nil) {
 		return nil, fmt.Errorf("kvstore: ExactMerge requires a linear-in-state fold (have %v)", cfg.Fold.Merge)
 	}
+	// Lower the fold (and its merge coefficients) to bytecode so Process
+	// never tree-walks IR. Plan-compiled folds arrive already lowered;
+	// this covers folds constructed directly (tests, harnesses). New is
+	// setup code, so the mutation is safe: caches are never built
+	// concurrently with updates on a shared fold.
+	cfg.Fold.EnsureCompiled()
 	if g.Buckets == 1 {
 		return newFullLRU(cfg), nil
 	}

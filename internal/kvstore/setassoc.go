@@ -1,6 +1,9 @@
 package kvstore
 
 import (
+	"encoding/binary"
+	"math"
+
 	"perfq/internal/fold"
 	"perfq/internal/packet"
 	"perfq/internal/trace"
@@ -11,28 +14,58 @@ import (
 // permutation of slot indices, so promoting an entry moves one byte, not
 // the state vectors.
 type setAssoc struct {
-	cfg   Config
-	geom  Geometry
-	mask  uint64
-	ways  int
-	m     int // state vector length
-	exact bool
+	cfg       Config
+	fold      *fold.Func       // hoisted from cfg for the per-packet path
+	lin       *fold.LinearSpec // non-nil iff exact merge
+	geom      Geometry
+	mask      uint64
+	ways      int
+	m         int // state vector length
+	exact     bool
+	needFirst bool // exact merge with history coefficients: snapshot pkt 1
 
-	// Slot storage, indexed by bucket*ways+slot.
-	keys  []packet.Key128
-	state []float64 // m per slot
-	prod  []float64 // m*m per slot (exact merge only)
-	first []trace.Record
+	// tags hold the top hash byte per slot (the bucket index consumes
+	// low bits), so a probe rejects non-matching slots on a one-byte
+	// compare instead of a 16-byte key compare. Used when ways > 8.
+	tags []uint8
+	// vals is the slot storage, indexed by bucket*ways+slot: each slot
+	// interleaves its key (two bit-cast words), its state vector (m
+	// words) and, under exact merge, its running product (m·m words) —
+	// stride words per slot. Key, state and product are always touched
+	// together on a hit, so colocating them keeps the per-packet probe
+	// and update on one cache line for small m.
+	vals   []float64
+	stride int
+	first  []trace.Record
 
 	// order[bucket*ways+i] = slot index of the i-th most recently used
 	// entry of the bucket; only the first fill(bucket) entries are live.
+	// Used when ways > 8.
 	order []uint8
 	fill  []uint8
+
+	// Word-packed bucket metadata, used when ways ≤ 8 (the practical
+	// geometries): byte i of metaOrd[b] is the slot id of the bucket's
+	// i-th most recently used entry, byte s of metaTags[b] is slot s's
+	// tag. A probe then touches two words and the one matching key
+	// instead of walking three byte arrays, and an LRU promotion is a
+	// shift-and-mask instead of a byte-slice rotate.
+	packed8  bool
+	metaOrd  []uint64
+	metaTags []uint64
+
+	// Fused scalar update (1×1 history-free exact merge, e.g. EWMA):
+	// state' = a·state + b and P' = a·P applied inline on the hit path.
+	scalar   bool
+	scalarA  float64
+	scalarB  *fold.Code // nil: the constant scalarBC
+	scalarBC float64
 
 	stats Stats
 
 	aScratch []float64
 	mScratch []float64
+	ev       Eviction // reused eviction payload (fields are borrowed anyway)
 	resident int
 }
 
@@ -40,21 +73,36 @@ func newSetAssoc(cfg Config, g Geometry) *setAssoc {
 	m := cfg.Fold.StateLen()
 	c := &setAssoc{
 		cfg:   cfg,
+		fold:  cfg.Fold,
 		geom:  g,
 		mask:  uint64(g.Buckets - 1),
 		ways:  g.Ways,
 		m:     m,
 		exact: cfg.ExactMerge,
-		keys:  make([]packet.Key128, g.Buckets*g.Ways),
-		state: make([]float64, g.Buckets*g.Ways*m),
-		order: make([]uint8, g.Buckets*g.Ways),
 		fill:  make([]uint8, g.Buckets),
 	}
+	c.stride = 2 + m
 	if cfg.ExactMerge {
-		c.prod = make([]float64, g.Buckets*g.Ways*m*m)
-		c.first = make([]trace.Record, g.Buckets*g.Ways)
+		c.stride += m * m
+	}
+	c.vals = make([]float64, g.Buckets*g.Ways*c.stride)
+	if g.Ways <= 8 {
+		c.packed8 = true
+		c.metaOrd = make([]uint64, g.Buckets)
+		c.metaTags = make([]uint64, g.Buckets)
+	} else {
+		c.tags = make([]uint8, g.Buckets*g.Ways)
+		c.order = make([]uint8, g.Buckets*g.Ways)
+	}
+	if cfg.ExactMerge {
+		c.lin = cfg.Fold.Linear
+		c.needFirst = c.lin.NeedsFirstPacket
+		if c.needFirst {
+			c.first = make([]trace.Record, g.Buckets*g.Ways)
+		}
 		c.aScratch = make([]float64, m*m)
 		c.mScratch = make([]float64, m*m)
+		c.scalarA, c.scalarB, c.scalarBC, c.scalar = c.lin.Scalar()
 	}
 	return c
 }
@@ -64,33 +112,69 @@ func (c *setAssoc) Len() int           { return c.resident }
 func (c *setAssoc) Stats() Stats       { return c.stats }
 
 func (c *setAssoc) slotState(slot int) []float64 {
-	return c.state[slot*c.m : slot*c.m+c.m]
+	off := slot*c.stride + 2
+	return c.vals[off : off+c.m]
 }
 
 func (c *setAssoc) slotProd(slot int) []float64 {
-	mm := c.m * c.m
-	return c.prod[slot*mm : slot*mm+mm]
+	off := slot*c.stride + 2 + c.m
+	return c.vals[off : off+c.m*c.m]
+}
+
+// keyWords splits a key into the two bit-cast lanes of a slot record.
+func keyWords(key packet.Key128) (k0, k1 float64) {
+	return math.Float64frombits(binary.LittleEndian.Uint64(key[0:8])),
+		math.Float64frombits(binary.LittleEndian.Uint64(key[8:16]))
+}
+
+// slotKey reassembles a slot's key from its lanes. Bit patterns survive
+// float64 load/store round trips untouched (Go does not canonicalize
+// NaNs on moves), so this is exact.
+func (c *setAssoc) slotKey(slot int) packet.Key128 {
+	off := slot * c.stride
+	var key packet.Key128
+	binary.LittleEndian.PutUint64(key[0:8], math.Float64bits(c.vals[off]))
+	binary.LittleEndian.PutUint64(key[8:16], math.Float64bits(c.vals[off+1]))
+	return key
 }
 
 // Process implements Cache.
-func (c *setAssoc) Process(key packet.Key128, in *fold.Input) {
+func (c *setAssoc) Process(key packet.Key128, in *fold.Input) bool {
+	if c.packed8 {
+		return c.process8(key, in)
+	}
 	c.stats.Accesses++
-	b := int(key.Hash() & c.mask)
+	h := key.Hash()
+	b := int(h & c.mask)
+	tag := uint8(h >> 56)
 	base := b * c.ways
 	n := int(c.fill[b])
 	ord := c.order[base : base+c.ways]
 
-	// Hit path: scan the bucket in recency order.
+	k0 := binary.LittleEndian.Uint64(key[0:8])
+	k1 := binary.LittleEndian.Uint64(key[8:16])
+
+	// Hit path: scan the bucket in recency order. Key lanes compare as
+	// bit patterns — float == would treat NaN lanes as unequal and ±0
+	// lanes as equal.
 	for i := 0; i < n; i++ {
 		slot := base + int(ord[i])
-		if c.keys[slot] == key {
+		off := slot * c.stride
+		if c.tags[slot] == tag &&
+			math.Float64bits(c.vals[off]) == k0 &&
+			math.Float64bits(c.vals[off+1]) == k1 {
 			c.stats.Hits++
 			c.update(slot, in)
-			// Promote to MRU: rotate ord[0..i] right by one.
+			// Promote to MRU: rotate ord[0..i] right by one. An explicit
+			// byte loop rather than copy(): the span is at most ways-1
+			// bytes and this runs once per packet, so the memmove call
+			// overhead dominates the move itself.
 			mru := ord[i]
-			copy(ord[1:i+1], ord[0:i])
+			for j := i; j > 0; j-- {
+				ord[j] = ord[j-1]
+			}
 			ord[0] = mru
-			return
+			return false
 		}
 	}
 
@@ -109,7 +193,7 @@ func (c *setAssoc) Process(key packet.Key128, in *fold.Input) {
 		c.stats.Evictions++
 	}
 	slot := base + int(slotIdx)
-	c.insert(slot, key, in)
+	c.insert(slot, key, tag, in)
 	c.stats.Inserts++
 	// Promote the new entry to MRU.
 	if n >= c.ways {
@@ -117,6 +201,74 @@ func (c *setAssoc) Process(key packet.Key128, in *fold.Input) {
 	}
 	copy(ord[1:n+1], ord[0:n])
 	ord[0] = slotIdx
+	return true
+}
+
+// process8 is Process for the word-packed metadata layout (ways ≤ 8).
+// Identical cache behavior — same probe order, same LRU discipline —
+// with the bucket's recency permutation and tag bytes each held in one
+// uint64.
+func (c *setAssoc) process8(key packet.Key128, in *fold.Input) bool {
+	c.stats.Accesses++
+	h := key.Hash()
+	b := int(h & c.mask)
+	tag := uint8(h >> 56)
+	base := b * c.ways
+	n := int(c.fill[b])
+	ordW := c.metaOrd[b]
+	tagW := c.metaTags[b]
+
+	k0 := binary.LittleEndian.Uint64(key[0:8])
+	k1 := binary.LittleEndian.Uint64(key[8:16])
+
+	// Hit path: probe in recency order; a probe compares one tag byte
+	// and touches the full key (as bit patterns) only on a tag match.
+	for i := 0; i < n; i++ {
+		slotIdx := uint8(ordW >> (8 * uint(i)))
+		if uint8(tagW>>(8*slotIdx)) != tag {
+			continue
+		}
+		slot := base + int(slotIdx)
+		off := slot * c.stride
+		if math.Float64bits(c.vals[off]) != k0 || math.Float64bits(c.vals[off+1]) != k1 {
+			continue
+		}
+		c.stats.Hits++
+		c.update(slot, in)
+		if i > 0 {
+			// Promote to MRU: shift recency bytes 0..i-1 up one lane and
+			// drop this slot's byte into lane 0.
+			low := ordW & (uint64(1)<<(8*uint(i)) - 1)
+			high := ordW &^ (uint64(1)<<(8*uint(i+1)) - 1)
+			c.metaOrd[b] = high | low<<8 | uint64(slotIdx)
+		}
+		return false
+	}
+
+	// Miss path: pick a slot — a free one, else the bucket's LRU victim.
+	var slotIdx uint8
+	pos := n // recency lane the chosen slot currently occupies
+	if n < c.ways {
+		if n == 0 {
+			ordW = 0x0706050403020100 // identity permutation
+		}
+		slotIdx = uint8(ordW >> (8 * uint(n)))
+		c.fill[b]++
+		c.resident++
+	} else {
+		pos = n - 1
+		slotIdx = uint8(ordW >> (8 * uint(pos)))
+		c.evict(base+int(slotIdx), EvictCapacity)
+		c.stats.Evictions++
+	}
+	low := ordW & (uint64(1)<<(8*uint(pos)) - 1)
+	high := ordW &^ (uint64(1)<<(8*uint(pos+1)) - 1)
+	c.metaOrd[b] = high | low<<8 | uint64(slotIdx)
+	sh := 8 * uint(slotIdx)
+	c.metaTags[b] = tagW&^(uint64(0xff)<<sh) | uint64(tag)<<sh
+	c.insert(base+int(slotIdx), key, tag, in)
+	c.stats.Inserts++
+	return true
 }
 
 // freeSlot returns a slot id not currently used by the bucket. Order
@@ -137,41 +289,68 @@ func (c *setAssoc) freeSlot(b, n int) uint8 {
 
 // update applies one packet to a resident entry.
 func (c *setAssoc) update(slot int, in *fold.Input) {
-	st := c.slotState(slot)
-	if c.exact {
-		c.cfg.Fold.Linear.UpdateLinear(st, c.slotProd(slot), in, c.aScratch, c.mScratch)
+	if c.scalar {
+		off := slot * c.stride
+		b := c.scalarBC
+		if c.scalarB != nil {
+			b = c.scalarB.Eval(in, nil)
+		}
+		c.vals[off+2] = c.scalarA*c.vals[off+2] + b // state
+		c.vals[off+3] = c.scalarA * c.vals[off+3]   // P
 		return
 	}
-	c.cfg.Fold.Update(st, in)
+	st := c.slotState(slot)
+	if c.exact {
+		c.lin.UpdateLinear(st, c.slotProd(slot), in, c.aScratch, c.mScratch)
+		return
+	}
+	c.fold.Update(st, in)
 }
 
 // insert initializes a slot for a new key and applies its first packet.
-func (c *setAssoc) insert(slot int, key packet.Key128, in *fold.Input) {
-	c.keys[slot] = key
-	st := c.slotState(slot)
-	c.cfg.Fold.Init(st)
-	c.cfg.Fold.Update(st, in)
-	if c.exact {
-		// P starts at identity and excludes the first packet, which is
-		// snapshotted instead (fold.MergeWithFirstRec replays it).
-		fold.IdentityP(c.slotProd(slot), c.m)
-		c.first[slot] = *in.Rec
+func (c *setAssoc) insert(slot int, key packet.Key128, tag uint8, in *fold.Input) {
+	off := slot * c.stride
+	c.vals[off], c.vals[off+1] = keyWords(key)
+	if c.tags != nil {
+		c.tags[slot] = tag // packed8 keeps tags in metaTags instead
 	}
+	st := c.slotState(slot)
+	c.fold.Init(st)
+	if c.exact {
+		if c.needFirst {
+			// P starts at identity and excludes the first packet, which
+			// is snapshotted instead (fold.MergeWithFirstRec replays it).
+			fold.IdentityP(c.slotProd(slot), c.m)
+			c.first[slot] = *in.Rec
+		} else {
+			// History-free coefficients: P starts at the first packet's A
+			// (evaluated against the pre-update initial state), covers
+			// the whole epoch, and merges with MergeLinearState — no
+			// per-insert record snapshot.
+			c.lin.InitP(c.slotProd(slot), in, st)
+		}
+	}
+	c.fold.Update(st, in)
 }
 
 // evict delivers an entry to the eviction handler and clears the slot.
+// The Eviction payload is a per-cache scratch value: its contents are
+// borrowed slices already, so reusing the struct across evictions adds
+// no new aliasing constraints and keeps the eviction path allocation-free.
 func (c *setAssoc) evict(slot int, reason EvictReason) {
 	if c.cfg.OnEvict != nil {
-		ev := Eviction{
-			Key:    c.keys[slot],
+		c.ev = Eviction{
+			Key:    c.slotKey(slot),
 			State:  c.slotState(slot),
 			Reason: reason,
 		}
 		if c.exact {
-			ev.P = c.slotProd(slot)
-			ev.FirstRec = &c.first[slot]
+			c.ev.P = c.slotProd(slot)
+			if c.needFirst {
+				c.ev.FirstRec = &c.first[slot]
+			}
 		}
-		c.cfg.OnEvict(&ev)
+		c.cfg.OnEvict(&c.ev)
 	}
 }
 
@@ -182,8 +361,13 @@ func (c *setAssoc) Flush() {
 		base := b * c.ways
 		n := int(c.fill[b])
 		for i := 0; i < n; i++ {
-			slot := base + int(c.order[base+i])
-			c.evict(slot, EvictFlush)
+			var slotIdx uint8
+			if c.packed8 {
+				slotIdx = uint8(c.metaOrd[b] >> (8 * uint(i)))
+			} else {
+				slotIdx = c.order[base+i]
+			}
+			c.evict(base+int(slotIdx), EvictFlush)
 			c.stats.Flushed++
 		}
 		c.fill[b] = 0

@@ -36,6 +36,7 @@ const (
 	opSync    = 6 // barrier: ack after all prior ops applied
 	opStats   = 7 // → keys, merges, appends
 	opReset   = 8 // drop all keys
+	opMergeP  = 9 // eviction with whole-epoch product: state, P (no record)
 
 	// Response status codes.
 	StatusOK       = 0
@@ -91,6 +92,8 @@ func encodeEviction(buf []byte, m int, key packet.Key128, state, p []float64, re
 	switch {
 	case mergeKind == fold.MergeLinear && p != nil && rec != nil:
 		op = opMerge
+	case mergeKind == fold.MergeLinear && p != nil:
+		op = opMergeP
 	case mergeKind == fold.MergeAssoc:
 		op = opCombine
 	default:
@@ -98,8 +101,10 @@ func encodeEviction(buf []byte, m int, key packet.Key128, state, p []float64, re
 	}
 	buf = append(buf, key[:]...)
 	buf = putFloats(buf, state[:m])
-	if op == opMerge {
+	if op == opMerge || op == opMergeP {
 		buf = putFloats(buf, p[:m*m])
+	}
+	if op == opMerge {
 		var rb [trace.RecordSize]byte
 		trace.MarshalRecord(rb[:], rec)
 		buf = append(buf, rb[:]...)
@@ -119,11 +124,13 @@ func decodeEviction(op byte, body []byte, m int) (*evictionPayload, error) {
 	if body, err = getFloats(body, ev.state); err != nil {
 		return nil, err
 	}
-	if op == opMerge {
+	if op == opMerge || op == opMergeP {
 		ev.p = make([]float64, m*m)
 		if body, err = getFloats(body, ev.p); err != nil {
 			return nil, err
 		}
+	}
+	if op == opMerge {
 		if len(body) < trace.RecordSize {
 			return nil, ErrBadFrame
 		}

@@ -159,7 +159,7 @@ func (s *Server) serve(conn net.Conn) error {
 				return err
 			}
 
-		case opMerge, opAppend, opCombine:
+		case opMerge, opMergeP, opAppend, opCombine:
 			ev, err := decodeEviction(op, frame, m)
 			if err != nil {
 				return err

@@ -1,6 +1,9 @@
 package packet
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // FiveTuple is the canonical transport flow identifier: source and
 // destination IPv4 addresses and ports plus the IP protocol. It is a
@@ -89,27 +92,25 @@ func UnpackFiveTuple(k Key128) FiveTuple {
 }
 
 const (
-	fnvOffset64 uint64 = 14695981039346656037
-	fnvPrime64  uint64 = 1099511628211
+	fnvPrime64 uint64 = 1099511628211
 )
 
-// Hash returns a 64-bit hash of the key: FNV-1a followed by a
-// murmur3-style avalanche finalizer. FNV alone leaves the low-order bits a
-// function of only the low-order input bits (mod-2^k arithmetic is closed),
-// which would bias the cache's hash%nBuckets index; the finalizer mixes
-// every input bit into every output bit. A fixed function is used instead
-// of hash/maphash so bucket placement — and therefore the reproduced
-// figures — is deterministic across processes.
+// Hash returns a 64-bit hash of the key: the two 64-bit halves are
+// spread by independent odd multipliers and the combination is run
+// through a murmur3-style avalanche finalizer, so every input bit
+// reaches every output bit (a plain word-fold would leave the low-order
+// bits a function of only low-order input bits, biasing the cache's
+// hash%nBuckets index). This is the datapath's per-packet hash — two
+// wide multiplies and a finalizer, not a byte loop, because it sits on
+// the one-update-per-packet critical path. A fixed function is used
+// instead of hash/maphash so bucket placement — and therefore the
+// reproduced figures — is deterministic across processes.
 func (k Key128) Hash() uint64 {
-	h := fnvOffset64
-	for _, b := range k {
-		h ^= uint64(b)
-		h *= fnvPrime64
-	}
-	h ^= h >> 33
+	lo := binary.LittleEndian.Uint64(k[0:8])
+	hi := binary.LittleEndian.Uint64(k[8:16])
+	h := lo*0x9e3779b97f4a7c15 ^ hi*0xc4ceb9fe1a85ec53
+	h ^= h >> 32
 	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
 	h ^= h >> 33
 	return h
 }

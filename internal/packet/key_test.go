@@ -40,13 +40,13 @@ func TestReverseInvolution(t *testing.T) {
 
 func TestKeyHashDeterministic(t *testing.T) {
 	k := FiveTuple{Src: Addr4{10, 0, 0, 1}, Dst: Addr4{10, 0, 0, 2}, SrcPort: 80, DstPort: 8080, Proto: ProtoTCP}.Pack()
-	// FNV-1a must be stable across runs and platforms; pin the value.
+	// The hash must be stable across runs and platforms; pin the value.
 	if h1, h2 := k.Hash(), k.Hash(); h1 != h2 {
 		t.Fatalf("hash not deterministic within a run: %x vs %x", h1, h2)
 	}
-	const want = uint64(0x0b9df5b792e297da)
+	const want = uint64(0x461530938a95d190)
 	if got := k.Hash(); got != want {
-		// If this fails the FNV implementation changed; figures would shift.
+		// If this fails the hash implementation changed; figures would shift.
 		t.Errorf("pinned hash = %#x, want %#x", got, want)
 	}
 }

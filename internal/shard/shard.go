@@ -62,8 +62,14 @@ type Config struct {
 	Shards int
 	// Batch is the records-per-send granularity; 0 selects DefaultBatch.
 	Batch int
-	// Keyed lists the key-partitioned targets; target t sets mask bit t.
-	Keyed []KeyFunc
+	// Keys lists the distinct partition-key extractors. Targets that
+	// group by the same key share one entry, so each record's key (and
+	// its hash) is computed once per distinct key, not once per target.
+	Keys []KeyFunc
+	// Targets maps each key-partitioned target t (mask bit t) to its
+	// entry in Keys. nil means the identity mapping: target t partitions
+	// by Keys[t].
+	Targets []int
 	// FreeMask is OR-ed into one round-robin-chosen shard's mask for
 	// every record — the bits of order-insensitive targets.
 	FreeMask uint64
@@ -90,10 +96,12 @@ func Index(key packet.Key128, n int) int {
 // such as the datapath's single-record Process path. A Router is not
 // goroutine-safe; give each serial caller its own.
 type Router struct {
-	n     int
-	keyed []KeyFunc
-	free  uint64
-	rr    int
+	n       int
+	keys    []KeyFunc
+	targets []int
+	idx     []int // per-key shard index scratch
+	free    uint64
+	rr      int
 }
 
 // NewRouter builds a router from the routing-relevant Config fields.
@@ -102,21 +110,38 @@ func NewRouter(cfg Config) *Router {
 	if n < 1 {
 		n = 1
 	}
-	return &Router{n: n, keyed: cfg.Keyed, free: cfg.FreeMask}
+	targets := cfg.Targets
+	if targets == nil {
+		targets = make([]int, len(cfg.Keys))
+		for t := range targets {
+			targets[t] = t
+		}
+	}
+	return &Router{
+		n:       n,
+		keys:    cfg.Keys,
+		targets: targets,
+		idx:     make([]int, len(cfg.Keys)),
+		free:    cfg.FreeMask,
+	}
 }
 
 // Shards returns the shard count records are routed across.
 func (r *Router) Shards() int { return r.n }
 
 // Route fills masks (which must have length Shards) with each shard's
-// target bits for one record. Free targets advance the round-robin
-// cursor, so route each record exactly once.
+// target bits for one record: one key extraction + hash per distinct
+// key, then a mask update per target. Free targets advance the
+// round-robin cursor, so route each record exactly once.
 func (r *Router) Route(rec *trace.Record, masks []uint64) {
 	for i := range masks {
 		masks[i] = 0
 	}
-	for t, kf := range r.keyed {
-		masks[Index(kf(rec), r.n)] |= 1 << uint(t)
+	for k, kf := range r.keys {
+		r.idx[k] = Index(kf(rec), r.n)
+	}
+	for t, k := range r.targets {
+		masks[r.idx[k]] |= 1 << uint(t)
 	}
 	if r.free != 0 {
 		masks[r.rr] |= r.free
@@ -221,6 +246,16 @@ func (p *Pool) Close() {
 // workers to finish. It returns the number of records fed.
 func Run(cfg Config, src trace.Source, process ProcessFunc) (uint64, error) {
 	p := NewPool(cfg, process)
+	if ss, ok := src.(*trace.SliceSource); ok {
+		// Bulk replay from memory: feed records in place; Feed copies
+		// into the batch either way, so Next's extra copy is pure loss.
+		rest := ss.Rest()
+		for i := range rest {
+			p.Feed(&rest[i])
+		}
+		p.Close()
+		return p.fed, nil
+	}
 	var rec trace.Record
 	for {
 		err := src.Next(&rec)

@@ -102,7 +102,7 @@ func TestPoolRouting(t *testing.T) {
 	cfg := Config{
 		Shards:   n,
 		Batch:    64,
-		Keyed:    []KeyFunc{flowKey, qidKey},
+		Keys:     []KeyFunc{flowKey, qidKey},
 		FreeMask: 1 << 2,
 	}
 	pool := NewPool(cfg, func(s int, rec *trace.Record, mask uint64) {
@@ -158,7 +158,7 @@ func TestPoolRouting(t *testing.T) {
 // after Close.
 func TestPoolPartialBatchFlush(t *testing.T) {
 	var processed atomic.Uint64
-	pool := NewPool(Config{Shards: 3, Batch: 256, Keyed: []KeyFunc{flowKey}},
+	pool := NewPool(Config{Shards: 3, Batch: 256, Keys: []KeyFunc{flowKey}},
 		func(s int, rec *trace.Record, mask uint64) { processed.Add(1) })
 	recs := routeTrace(10)
 	for i := range recs {
@@ -174,7 +174,7 @@ func TestPoolPartialBatchFlush(t *testing.T) {
 func TestRunStreamsSource(t *testing.T) {
 	recs := routeTrace(1000)
 	var processed atomic.Uint64
-	fed, err := Run(Config{Shards: 2, Keyed: []KeyFunc{flowKey}},
+	fed, err := Run(Config{Shards: 2, Keys: []KeyFunc{flowKey}},
 		&trace.SliceSource{Records: recs},
 		func(s int, rec *trace.Record, mask uint64) { processed.Add(1) })
 	if err != nil {
@@ -189,7 +189,7 @@ func TestRunStreamsSource(t *testing.T) {
 // shard 0 with all target bits.
 func TestSingleShardDegenerate(t *testing.T) {
 	recs := routeTrace(100)
-	pool := NewPool(Config{Shards: 1, Keyed: []KeyFunc{flowKey, qidKey}, FreeMask: 1 << 2},
+	pool := NewPool(Config{Shards: 1, Keys: []KeyFunc{flowKey, qidKey}, FreeMask: 1 << 2},
 		func(s int, rec *trace.Record, mask uint64) {
 			if s != 0 {
 				t.Errorf("record on shard %d", s)

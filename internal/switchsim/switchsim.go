@@ -25,8 +25,10 @@
 package switchsim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 
 	"perfq/internal/backing"
@@ -77,16 +79,19 @@ type progState struct {
 }
 
 // shardState is the per-shard slice of datapath state: one store
-// instance per switch program plus the mirrored rows of select-over-T
-// stages this shard was assigned.
+// instance per switch program, the mirrored rows of select-over-T stages
+// this shard was assigned (selRows[i] parallels Datapath.selStgs), and
+// the reused per-record scratch that keeps the hot loop allocation-free.
 type shardState struct {
 	progs   []*progState
-	selects map[string][][]float64
+	selRows [][][]float64
+	scratch shardScratch
 }
 
 // Datapath executes a plan's switch-resident stages.
 type Datapath struct {
 	plan    *compiler.Plan
+	hot     *hotPath
 	shards  []*shardState
 	selStgs []*compiler.Stage // select-over-T stages, in plan order
 	routing shard.Config
@@ -96,8 +101,9 @@ type Datapath struct {
 }
 
 // newShardState builds one shard's stores for the plan.
-func newShardState(plan *compiler.Plan, geo kvstore.Geometry, cfg Config, evictMu *sync.Mutex) (*shardState, error) {
-	sh := &shardState{selects: map[string][][]float64{}}
+func newShardState(plan *compiler.Plan, hp *hotPath, geo kvstore.Geometry, cfg Config, evictMu *sync.Mutex) (*shardState, error) {
+	sh := &shardState{selRows: make([][][]float64, len(hp.selects))}
+	sh.scratch.init(hp)
 	for i, sp := range plan.Programs {
 		ps := &progState{
 			sp:    sp,
@@ -154,6 +160,7 @@ func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
 			d.selStgs = append(d.selStgs, st)
 		}
 	}
+	d.hot = newHotPath(plan, d.selStgs)
 
 	geo := cfg.Geometry.Split(n)
 	var evictMu *sync.Mutex
@@ -161,27 +168,14 @@ func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
 		evictMu = &sync.Mutex{}
 	}
 	for s := 0; s < n; s++ {
-		sh, err := newShardState(plan, geo, cfg, evictMu)
+		sh, err := newShardState(plan, d.hot, geo, cfg, evictMu)
 		if err != nil {
 			return nil, err
 		}
 		d.shards = append(d.shards, sh)
 	}
 
-	keyed := make([]shard.KeyFunc, len(plan.Programs))
-	for i, sp := range plan.Programs {
-		keyed[i] = sp.Key.Of
-	}
-	var freeMask uint64
-	if len(d.selStgs) > 0 {
-		freeMask = 1 << uint(len(plan.Programs))
-	}
-	d.routing = shard.Config{
-		Shards:   n,
-		Batch:    cfg.ShardBatch,
-		Keyed:    keyed,
-		FreeMask: freeMask,
-	}
+	d.routing = d.hot.routing(n, cfg.ShardBatch)
 	d.router = shard.NewRouter(d.routing)
 	d.masks = make([]uint64, n)
 	return d, nil
@@ -196,43 +190,85 @@ func (d *Datapath) Packets() uint64 { return d.packets }
 // process applies one routed record to the targets this shard owns.
 // all bypasses the mask (the serial datapath owns every target, and
 // masks cannot represent plans beyond shard.MaxTargets programs).
+//
+// This is the datapath's innermost loop — the software stand-in for the
+// paper's one-update-per-clock pipeline stage — and it is allocation-free
+// in the steady state: the Input and its dense field vector are per-shard
+// scratch, WHERE/SELECT/fold execution is flat bytecode, each distinct
+// GROUPBY key is packed at most once per record, and the rows it does
+// retain (mirrored SELECT output, digest-key component values) come from
+// a chunked slab.
 func (sh *shardState) process(d *Datapath, rec *trace.Record, mask uint64, all bool) {
-	in := fold.Input{Rec: rec}
+	hp := d.hot
+	sc := &sh.scratch
+	sc.in.Rec = rec
+	for _, f := range hp.fields {
+		sc.fields[f] = float64(rec.Field(f))
+	}
+	in := &sc.in
 
 	// Mirror matching records for select-over-T stages.
-	if all || mask&(1<<uint(len(sh.progs))) != 0 {
-		for _, st := range d.selStgs {
-			if st.Where != nil && !fold.EvalPred(st.Where, &in, nil) {
+	if (all || mask&hp.selBit != 0) && len(hp.selects) > 0 {
+		for si := range hp.selects {
+			sel := &hp.selects[si]
+			if sel.where != nil {
+				if !sel.where.EvalBool(in, nil) {
+					continue
+				}
+			} else if sel.st.Where != nil && !fold.EvalPred(sel.st.Where, in, nil) {
 				continue
 			}
-			row := make([]float64, len(st.Cols))
-			for i, c := range st.Cols {
-				row[i] = fold.EvalExpr(c, &in, nil)
+			row := sc.slab.take(len(sel.st.Cols))
+			for i := range row {
+				if c := sel.cols[i]; c != nil {
+					row[i] = c.Eval(in, nil)
+				} else {
+					row[i] = fold.EvalExpr(sel.st.Cols[i], in, nil)
+				}
 			}
-			sh.selects[st.Name] = append(sh.selects[st.Name], row)
+			sh.selRows[si] = append(sh.selRows[si], row)
 		}
 	}
 
 	// Key-value store programs. A record enters a program's store if it
 	// matches any member's guard; the fused fold's internal guards keep
-	// per-member state exact.
-	for pi, ps := range sh.progs {
+	// per-member state exact. Programs sharing a GROUPBY key share one
+	// key computation (computed tracks which groups are packed).
+	var computed uint64
+	for pi := range hp.progs {
 		if !all && mask&(1<<uint(pi)) == 0 {
 			continue
 		}
-		if !anyMemberMatches(ps.sp, &in) {
+		ph := &hp.progs[pi]
+		if !ph.matches(in) {
 			continue
 		}
-		nk := ps.sp.Key.NumComponents()
-		var kv [8]float64
-		ps.sp.Key.Values(rec, kv[:nk])
-		key := ps.sp.Key.Pack(kv[:nk])
-		if ps.keyVals != nil {
+		g := ph.group
+		if computed&(1<<uint(g)) == 0 {
+			if kg := &hp.groups[g]; kg.fiveTuple {
+				sc.keys[g] = compiler.FiveTupleKey(rec) // inlines
+			} else {
+				sc.keys[g] = kg.spec.Of(rec)
+			}
+			computed |= 1 << uint(g)
+		}
+		ps := sh.progs[pi]
+		inserted := ps.cache.Process(sc.keys[g], in)
+		if inserted && ps.keyVals != nil {
+			// Digest-mode keys are irreversible, so component values ride
+			// alongside. Recording only on insert keeps map traffic off
+			// the hit path entirely (the pre-existing version consulted
+			// the map once per packet); the containment check makes
+			// re-inserts after eviction idempotent so slab rows aren't
+			// duplicated.
+			key := sc.keys[g]
 			if _, ok := ps.keyVals[key]; !ok {
-				ps.keyVals[key] = append([]float64(nil), kv[:nk]...)
+				kg := &hp.groups[g]
+				var kv [8]float64
+				kg.spec.Values(rec, kv[:kg.nk])
+				ps.keyVals[key] = sc.slab.copyOf(kv[:kg.nk])
 			}
 		}
-		ps.cache.Process(key, &in)
 	}
 }
 
@@ -255,20 +291,23 @@ func (d *Datapath) Process(rec *trace.Record) {
 	}
 }
 
-// anyMemberMatches evaluates the per-member match predicates.
-func anyMemberMatches(sp *compiler.SwitchProgram, in *fold.Input) bool {
-	for _, st := range sp.Members {
-		if st.Where == nil || fold.EvalPred(st.Where, in, nil) {
-			return true
-		}
-	}
-	return false
-}
-
 // Run streams a whole source and flushes. With Shards > 1 the stream is
 // hash-partitioned across one worker goroutine per shard.
 func (d *Datapath) Run(src trace.Source) error {
 	if len(d.shards) == 1 {
+		if ss, ok := src.(*trace.SliceSource); ok {
+			// Bulk replay from memory: process records in place instead
+			// of copying each through Next, with the per-record dispatch
+			// hoisted out of Process.
+			rest := ss.Rest()
+			sh := d.shards[0]
+			for i := range rest {
+				sh.process(d, &rest[i], 0, true)
+			}
+			d.packets += uint64(len(rest))
+			d.Flush()
+			return nil
+		}
 		var rec trace.Record
 		for {
 			err := src.Next(&rec)
@@ -312,10 +351,10 @@ func (d *Datapath) Flush() {
 // appear — the accuracy semantics of §3.2.
 func (d *Datapath) Tables() map[string]*exec.Table {
 	out := map[string]*exec.Table{}
-	for _, st := range d.selStgs {
+	for si, st := range d.selStgs {
 		var rows [][]float64
 		for _, sh := range d.shards {
-			rows = append(rows, sh.selects[st.Name]...)
+			rows = append(rows, sh.selRows[si]...)
 		}
 		t := &exec.Table{Schema: st.Schema, Rows: rows}
 		t.Sort()
@@ -323,7 +362,31 @@ func (d *Datapath) Tables() map[string]*exec.Table {
 	}
 	for pi, sp := range d.plan.Programs {
 		nk := sp.Key.NumComponents()
+		// Pre-size from the stores' key counts and build rows in per-member
+		// slabs: two allocations per member instead of one per row.
+		total := 0
+		for _, sh := range d.shards {
+			total += sh.progs[pi].store.Len()
+		}
 		memberRows := make([][][]float64, len(sp.Members))
+		slabs := make([][]float64, len(sp.Members))
+		var keyed [][]keyedRef
+		// Packed keys are big-endian per component, so byte order equals
+		// the float-lexicographic row order Table.Sort produces — as long
+		// as every component is non-negative (two's-complement bytes
+		// would order negatives last). Sort by the two key words then:
+		// two integer compares per comparison instead of a column walk.
+		byKey := sp.Key.Packed
+		if byKey {
+			keyed = make([][]keyedRef, len(sp.Members))
+			for mi := range keyed {
+				keyed[mi] = make([]keyedRef, 0, total)
+			}
+		}
+		for mi, st := range sp.Members {
+			memberRows[mi] = make([][]float64, 0, total)
+			slabs[mi] = make([]float64, 0, total*(nk+len(st.Out)))
+		}
 		for _, sh := range d.shards {
 			ps := sh.progs[pi]
 			ps.store.Range(func(key packet.Key128, state []float64) bool {
@@ -333,23 +396,77 @@ func (d *Datapath) Tables() map[string]*exec.Table {
 				} else {
 					sp.Key.Unpack(key, kv[:nk])
 				}
+				if byKey {
+					for _, v := range kv[:nk] {
+						if v < 0 {
+							byKey = false // fall back to the column sort
+							break
+						}
+					}
+				}
 				for mi, st := range sp.Members {
-					if state[sp.PresIdx[mi]] <= 0 {
+					if pidx := sp.PresIdx[mi]; pidx >= 0 && state[pidx] <= 0 {
 						continue // no record of this member's query saw the key
 					}
 					mstate := state[sp.Offsets[mi] : sp.Offsets[mi]+st.Fold.StateLen()]
-					memberRows[mi] = append(memberRows[mi], exec.GroupRow(st, kv[:nk], mstate))
+					slab := slabs[mi]
+					start := len(slab)
+					slab = append(slab, kv[:nk]...)
+					slab = exec.AppendOutCols(st, mstate, slab)
+					slabs[mi] = slab
+					row := slab[start:len(slab):len(slab)]
+					memberRows[mi] = append(memberRows[mi], row)
+					if keyed != nil {
+						keyed[mi] = append(keyed[mi], keyedRef{
+							k0:  binary.BigEndian.Uint64(key[0:8]),
+							k1:  binary.BigEndian.Uint64(key[8:16]),
+							idx: int32(len(memberRows[mi]) - 1),
+						})
+					}
 				}
 				return true
 			})
 		}
 		for mi, st := range sp.Members {
 			t := &exec.Table{Schema: st.Schema, Rows: memberRows[mi]}
-			t.Sort()
+			if byKey {
+				refs := keyed[mi]
+				slices.SortFunc(refs, func(a, b keyedRef) int {
+					switch {
+					case a.k0 != b.k0:
+						if a.k0 < b.k0 {
+							return -1
+						}
+						return 1
+					case a.k1 != b.k1:
+						if a.k1 < b.k1 {
+							return -1
+						}
+						return 1
+					default:
+						return 0
+					}
+				})
+				sorted := make([][]float64, len(refs))
+				for i := range refs {
+					sorted[i] = t.Rows[refs[i].idx]
+				}
+				t.Rows = sorted
+			} else {
+				t.Sort()
+			}
 			out[st.Name] = t
 		}
 	}
 	return out
+}
+
+// keyedRef pairs a group row's index with its packed key words — the
+// 24-byte sort element of the integer-keyed sort in Tables (rows are
+// gathered once afterwards, so swaps move 24 bytes, not row headers).
+type keyedRef struct {
+	k0, k1 uint64
+	idx    int32
 }
 
 // Collect runs the collector: downstream stages evaluated over the
