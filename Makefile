@@ -14,24 +14,27 @@ build:
 test: build
 	$(GO) test ./...
 
-# The sharded datapath's concurrency contract under the race detector.
+# The sharded datapath's and the fabric's concurrency contracts under
+# the race detector (the fabric equivalence suite runs one worker
+# goroutine per switch).
 race:
-	$(GO) test -race -run 'TestSharded|TestWithShards|TestPool' ./...
+	$(GO) test -race -run 'TestSharded|TestWithShards|TestPool|TestFabric' ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
 
 # Record the perf trajectory: the sharded-datapath scaling series
-# (pkts/s, allocs/op at shards 1/2/4/8) plus the fold-eval microbench,
+# (pkts/s, allocs/op at shards 1/2/4/8), the network-wide fabric replay
+# (pkts/s, serial vs worker-per-switch) and the fold-eval microbench,
 # written as JSON for the repo's BENCH_*.json history. pipefail so a
 # failing benchmark can't silently record a partial file.
 bench-json: SHELL := /bin/bash
 bench-json:
 	set -o pipefail; \
-	{ $(GO) test -bench 'BenchmarkShardedDatapath' -benchtime 2s -benchmem -run XXX . && \
+	{ $(GO) test -bench 'BenchmarkShardedDatapath|BenchmarkFabricDatapath' -benchtime 2s -benchmem -run XXX . && \
 	  $(GO) test -bench 'BenchmarkFoldEval' -benchtime 1s -benchmem -run XXX ./internal/fold ; } \
-	| $(GO) run ./cmd/benchjson -out BENCH_3.json
-	@cat BENCH_3.json
+	| $(GO) run ./cmd/benchjson -out BENCH_4.json
+	@cat BENCH_4.json
 
 # Hot-path diagnosis: run the reference EWMA query over a DC trace with
 # CPU and heap profiles; inspect with `go tool pprof cpu.prof`.

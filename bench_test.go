@@ -15,12 +15,16 @@ import (
 	"time"
 
 	"perfq/internal/backing"
+	"perfq/internal/fabric"
 	"perfq/internal/fold"
 	"perfq/internal/harness"
 	"perfq/internal/kvstore"
+	"perfq/internal/netsim"
 	"perfq/internal/netstore"
 	"perfq/internal/packet"
 	"perfq/internal/queries"
+	"perfq/internal/switchsim"
+	"perfq/internal/topo"
 	"perfq/internal/trace"
 	"perfq/internal/tracegen"
 )
@@ -141,6 +145,48 @@ func BenchmarkShardedDatapath(b *testing.B) {
 			b.ResetTimer()
 			for done < b.N {
 				if _, err := q.Run(Records(recs), WithCache(1<<14, 8), WithShards(shards)); err != nil {
+					b.Fatal(err)
+				}
+				done += len(recs)
+			}
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "pkts/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+		})
+	}
+}
+
+// BenchmarkFabricDatapath replays a leaf-spine fabric trace through the
+// network-wide deployment — one datapath per switch fed by the
+// demultiplexing feeder, then collector reconciliation — serial vs one
+// worker per switch. pkts/s counts records of the merged stream.
+func BenchmarkFabricDatapath(b *testing.B) {
+	tp := topo.LeafSpine(4, 2, 8, topo.Options{})
+	recs, err := netsim.GenWorkload(tp, netsim.Workload{Seed: 12, Flows: 1200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustCompile(queries.ByName("Per-flow counters").Source)
+	for _, serial := range []bool{true, false} {
+		name := "parallel"
+		if serial {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			done := 0
+			b.ResetTimer()
+			for done < b.N {
+				fab, err := fabric.New(q.Plan(), tp, fabric.Config{
+					Switch: switchsim.Config{Geometry: kvstore.SetAssociative(1<<14, 8)},
+					Serial: serial,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := fab.Run(Records(recs)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fab.Collect(); err != nil {
 					b.Fatal(err)
 				}
 				done += len(recs)

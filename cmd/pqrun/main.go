@@ -2,10 +2,17 @@
 // file or a freshly generated synthetic capture — through the full
 // cache + backing-store datapath, printing each result table.
 //
+// With -topo the query instead runs network-wide: a topology is built
+// from the spec, a deterministic workload is simulated over it
+// (internal/netsim), and the query executes on the fabric — one datapath
+// per switch, reconciled by the collector — with the cache budget split
+// across switches.
+//
 // Usage:
 //
 //	pqrun -trace trace.pqt query.pq
 //	pqrun -gen wan -duration 30s -pairs 65536 -ways 8 query.pq
+//	pqrun -topo leafspine:4x2x8 -flows 400 -incast 16 query.pq
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"time"
 
 	"perfq"
+	"perfq/internal/netsim"
+	"perfq/internal/topo"
 	"perfq/internal/trace"
 	"perfq/internal/tracegen"
 )
@@ -26,6 +35,9 @@ func main() {
 	var (
 		tracePath  = flag.String("trace", "", "pqt trace file (overrides -gen)")
 		gen        = flag.String("gen", "wan", "synthetic preset when no trace file: wan|dc")
+		topoSpec   = flag.String("topo", "", "run network-wide on this topology (chain:N, leafspine:LxSxH)")
+		flows      = flag.Int("flows", 200, "background flows of the -topo workload")
+		incast     = flag.Int("incast", 0, "incast senders of the -topo workload (0 = none)")
 		duration   = flag.Duration("duration", 10*time.Second, "synthetic capture length")
 		seed       = flag.Int64("seed", 1, "synthetic trace seed")
 		pairs      = flag.Int("pairs", 1<<18, "cache capacity in key-value pairs")
@@ -90,7 +102,31 @@ func main() {
 		fail(err)
 	}
 
+	// -topo: simulate the workload once, replay from memory, run on the
+	// fabric. The same spec syntax drives tracegen, so a pqt trace
+	// recorded there replays identically through -trace + -topo.
+	var fabricTopo *topo.Topology
+	var fabricRecs []trace.Record
+	if *topoSpec != "" {
+		tp, err := topo.ParseSpec(*topoSpec, topo.Options{})
+		if err != nil {
+			fail(err)
+		}
+		fabricTopo = tp
+		if *tracePath == "" {
+			fabricRecs, err = netsim.GenWorkload(tp, netsim.Workload{
+				Seed: *seed, Flows: *flows, IncastSenders: *incast,
+			})
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+
 	newSource := func() (perfq.Source, func(), error) {
+		if fabricRecs != nil {
+			return &trace.SliceSource{Records: fabricRecs}, func() {}, nil
+		}
 		if *tracePath != "" {
 			f, err := os.Open(*tracePath)
 			if err != nil {
@@ -119,7 +155,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := q.Run(srcRecs, perfq.WithCache(*pairs, *ways), perfq.WithShards(*shards))
+	opts := []perfq.RunOption{perfq.WithCache(*pairs, *ways), perfq.WithShards(*shards)}
+	if fabricTopo != nil {
+		opts = append(opts, perfq.WithFabric(fabricTopo))
+	}
+	res, err := q.Run(srcRecs, opts...)
 	done()
 	if err != nil {
 		fail(err)
@@ -133,13 +173,29 @@ func main() {
 	}
 	fmt.Printf("cache evictions: %d; backing-store keys valid: %d/%d\n",
 		res.Evictions, res.ValidKeys, res.TotalKeys)
+	if sws := res.Switches(); sws != nil {
+		fmt.Printf("fabric: %d switch datapaths, %d pairs each; per-switch result rows:",
+			len(sws), res.SwitchPairs())
+		for _, sw := range sws {
+			n := 0
+			if t := res.SwitchResult(sw); t != nil {
+				n = t.Len()
+			}
+			fmt.Printf(" %s=%d", res.SwitchName(sw), n)
+		}
+		fmt.Println()
+	}
 
 	if *truth {
 		srcRecs, done, err := newSource()
 		if err != nil {
 			fail(err)
 		}
-		tr, err := q.GroundTruth(srcRecs, perfq.WithShards(*shards))
+		gtOpts := []perfq.RunOption{perfq.WithShards(*shards)}
+		if fabricTopo != nil {
+			gtOpts = append(gtOpts, perfq.WithFabric(fabricTopo))
+		}
+		tr, err := q.GroundTruth(srcRecs, gtOpts...)
 		done()
 		if err != nil {
 			fail(err)

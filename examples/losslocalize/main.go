@@ -1,0 +1,95 @@
+// Network-wide loss localization: the query fabric in action. An incast
+// burst through a shallow-buffered leaf-spine fabric drops packets at
+// exactly one queue — the receiver's leaf downlink — and no single
+// vantage point can say which. Deploying the per-queue loss query across
+// every switch (perfq.WithFabric) and letting the collector reconcile
+// the per-switch stores pins the loss to the congested hop.
+//
+// The per-queue key (qid) encodes its switch, so the network-wide table
+// is an exact union of per-switch tables: the fabric's answer is
+// bit-identical to what one infinitely fast switch seeing the whole
+// network would compute (see internal/fabric and the fabric equivalence
+// suite).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perfq"
+	"perfq/internal/netsim"
+	"perfq/internal/topo"
+	"perfq/internal/trace"
+)
+
+const lossByQueue = `
+# Per-queue traffic and drop counts; drop rate joined at the collector.
+R1 = SELECT COUNT GROUPBY qid
+R2 = SELECT COUNT GROUPBY qid WHERE tout == infinity
+R3 = SELECT R2.count / R1.count AS droprate, R2.count AS drops FROM R1 JOIN R2 ON qid
+`
+
+func main() {
+	// The same spec syntax pqrun -topo and tracegen -topo take; shallow
+	// buffers so the incast actually drops.
+	fabric, err := topo.ParseSpec("leafspine:4x2x8", topo.Options{BufBytes: 64 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := netsim.GenWorkload(fabric, netsim.Workload{
+		Seed: 42, Flows: 60, IncastSenders: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	drops := 0
+	for i := range recs {
+		if recs[i].Dropped() {
+			drops++
+		}
+	}
+	fmt.Printf("simulated %d observations across %d switch datapaths; %d drops somewhere\n\n",
+		len(recs), len(fabric.SwitchIDs()), drops)
+
+	q, err := perfq.Compile(lossByQueue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.Run(perfq.Records(recs), perfq.WithFabric(fabric))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := res.Table("R3")
+	fmt.Println("== network-wide queues with drops (qid, droprate, drops) ==")
+	tab.Format(os.Stdout, 8)
+	if tab.Len() == 0 {
+		fmt.Println("no drops recorded — increase the burst size")
+		return
+	}
+
+	// Rank by absolute drops and name the culprit.
+	var top []float64
+	for _, row := range tab.Rows {
+		if top == nil || row[2] > top[2] {
+			top = row
+		}
+	}
+	qid := trace.QueueID(uint32(int64(top[0])))
+	fmt.Printf("\ncongested hop: switch %q port %d (qid 0x%x), %d drops at %.1f%% drop rate\n",
+		res.SwitchName(qid.Switch()), qid.Queue(), uint32(qid), int64(top[2]), 100*top[1])
+
+	// The per-switch view: only the congested leaf's own store carries
+	// these drops — the localization is attributable to one device.
+	swTab := res.SwitchTable(qid.Switch(), "R3")
+	if swTab == nil {
+		log.Fatalf("no per-switch table for switch %d", qid.Switch())
+	}
+	fmt.Printf("\n== the same query as seen by %s alone ==\n", res.SwitchName(qid.Switch()))
+	swTab.Format(os.Stdout, 8)
+
+	fmt.Println("\nper-queue keys pin each row to one switch, so the fabric's union")
+	fmt.Println("merge is exact: deploying the query per device loses nothing (§3.2,")
+	fmt.Println("in space), while endpoint telemetry could only report that loss exists.")
+}

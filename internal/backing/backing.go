@@ -197,6 +197,21 @@ func (s *Store) Range(fn func(key packet.Key128, state []float64) bool) {
 	}
 }
 
+// RangeAll calls fn for every key, including keys whose full-window value
+// is untrustworthy (multi-epoch keys of a non-mergeable fold): those are
+// reported with a nil state and valid == false. The network-wide
+// collector uses this to propagate within-switch invalidity into its
+// spatial accuracy accounting; single-switch materialization (Range)
+// never needs it.
+func (s *Store) RangeAll(fn func(key packet.Key128, state []float64, valid bool) bool) {
+	for i := range s.ents {
+		st, ok := s.value(int32(i))
+		if !fn(s.ents[i].key, st, ok) {
+			return
+		}
+	}
+}
+
 // SortedKeys returns all keys in byte order, for deterministic reporting.
 func (s *Store) SortedKeys() []packet.Key128 {
 	out := make([]packet.Key128, 0, len(s.ents))

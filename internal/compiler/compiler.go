@@ -268,6 +268,8 @@ func (c *compilerCtx) compileGroup(cq *lang.CheckedQuery, st *Stage) (*Stage, er
 		names  []string
 		s0     []float64
 		offset int
+		funcs  []*fold.Func
+		offs   []int
 	)
 	progName := make([]string, 0, len(cq.Folds)+1)
 	for _, fu := range cq.Folds {
@@ -275,6 +277,8 @@ func (c *compilerCtx) compileGroup(cq *lang.CheckedQuery, st *Stage) (*Stage, er
 		if err != nil {
 			return nil, err
 		}
+		funcs = append(funcs, f)
+		offs = append(offs, offset)
 		body = append(body, renumberStmts(f.Prog.Body, offset)...)
 		for i := 0; i < f.StateLen(); i++ {
 			if f.Prog.S0 != nil {
@@ -314,10 +318,54 @@ func (c *compilerCtx) compileGroup(cq *lang.CheckedQuery, st *Stage) (*Stage, er
 		return nil, fmt.Errorf("stage %s: %w", st.Name, err)
 	}
 	st.Fold = &fold.Func{Prog: prog}
+	// A stage whose folds are all associative builtins (MAX/MIN) keeps
+	// that merge metadata: each fold's state occupies a disjoint slice of
+	// the concatenated vector, so the stage combines component-wise. The
+	// linear analysis cannot recover this — the If-on-state bodies are
+	// not linear — and losing it would demote such stages to epoch
+	// semantics (which is exactly what happened before PR 4).
+	if comb := concatCombine(funcs, offs); comb != nil {
+		st.Fold.Merge = fold.MergeAssoc
+		st.Fold.Combine = comb
+		if len(funcs) == 1 {
+			st.Fold.Native = funcs[0].Native
+		}
+	}
 	// Annotate with merge metadata; non-linear folds simply stay
 	// MergeNone (epoch semantics).
 	_ = linear.Annotate(st.Fold)
 	return st, nil
+}
+
+// concatCombine builds the pairwise combine of a concatenation of folds,
+// or nil unless every fold (at least one) is associative. For a single
+// fold at offset 0 this is that fold's own Combine.
+func concatCombine(funcs []*fold.Func, offs []int) func(dst, src []float64) {
+	if len(funcs) == 0 {
+		return nil
+	}
+	for _, f := range funcs {
+		if f.Merge != fold.MergeAssoc || f.Combine == nil {
+			return nil
+		}
+	}
+	if len(funcs) == 1 {
+		return funcs[0].Combine
+	}
+	lens := make([]int, len(funcs))
+	for i, f := range funcs {
+		lens[i] = f.StateLen()
+	}
+	combines := make([]func(dst, src []float64), len(funcs))
+	for i, f := range funcs {
+		combines[i] = f.Combine
+	}
+	return func(dst, src []float64) {
+		for i, comb := range combines {
+			off, l := offs[i], lens[i]
+			comb(dst[off:off+l], src[off:off+l])
+		}
+	}
 }
 
 // lowerFoldUse lowers one aggregation to a fold.Func plus its output
@@ -562,6 +610,15 @@ func (sp *SwitchProgram) build() error {
 		return err
 	}
 	sp.Fold = &fold.Func{Prog: prog}
+	// A single-member store whose stage fold is associative keeps that
+	// metadata (state indices are unchanged at offset 0, and no presence
+	// counter was added), so the backing store reconciles its evictions
+	// with Combine instead of degrading to epoch semantics.
+	if single && sp.Members[0].Fold.Merge == fold.MergeAssoc {
+		sp.Fold.Merge = fold.MergeAssoc
+		sp.Fold.Combine = sp.Members[0].Fold.Combine
+		sp.Fold.Native = sp.Members[0].Fold.Native
+	}
 	_ = linear.Annotate(sp.Fold)
 	return nil
 }

@@ -204,6 +204,22 @@ func (e *Engine) processGroup(st *compiler.Stage, rec *trace.Record, in *fold.In
 	st.Fold.Update(ent.state, in)
 }
 
+// RangeGroup iterates an over-T group stage's accumulators: the packed
+// store key, key component values and raw state vector. Iteration order
+// is unspecified (each key appears exactly once); the fabric collector's
+// ground-truth path consumes this, mirroring Datapath.RangeMember.
+func (e *Engine) RangeGroup(name string, fn func(key packet.Key128, keyVals, state []float64) bool) {
+	for key, ent := range e.groups[name] {
+		if !fn(key, ent.keyVals, ent.state) {
+			return
+		}
+	}
+}
+
+// SelectRows returns the accumulated rows of a select-over-T stage (a
+// multiset; callers sort after merging).
+func (e *Engine) SelectRows(name string) [][]float64 { return e.srows[name] }
+
 // Finish materializes every remaining stage in order and returns all
 // tables by stage name.
 func (e *Engine) Finish() (map[string]*Table, error) {

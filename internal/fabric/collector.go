@@ -1,0 +1,195 @@
+package fabric
+
+import (
+	"perfq/internal/compiler"
+	"perfq/internal/exec"
+	"perfq/internal/fold"
+	"perfq/internal/packet"
+	"perfq/internal/trace"
+)
+
+// MergeMode classifies how one switch-resident stage's per-switch states
+// reconcile into a network-wide table.
+type MergeMode uint8
+
+// Merge modes, from strongest to weakest guarantee.
+const (
+	// ModeUnion: the GROUPBY key includes the switch dimension (qid or
+	// switch), so per-switch key sets are disjoint and the network table
+	// is their union — exact for every fold.
+	ModeUnion MergeMode = iota
+	// ModeAdd: the fold's linear update has identity A and packet-pure B
+	// (COUNT, SUM, AVG), so states from arbitrarily interleaved
+	// sub-streams merge by summing per-switch deltas.
+	ModeAdd
+	// ModeAssoc: the fold is a commutative monoid (MAX/MIN); states
+	// combine directly.
+	ModeAssoc
+	// ModeEpoch: no sound spatial merge exists; keys observed by more
+	// than one switch are dropped from the network table and counted
+	// against spatial accuracy (§3.2's epoch semantics, in space).
+	ModeEpoch
+)
+
+// String names the mode as used in reports.
+func (m MergeMode) String() string {
+	switch m {
+	case ModeUnion:
+		return "union"
+	case ModeAdd:
+		return "add"
+	case ModeAssoc:
+		return "assoc"
+	default:
+		return "epoch"
+	}
+}
+
+// Exact reports whether the mode loses no keys network-wide.
+func (m MergeMode) Exact() bool { return m != ModeEpoch }
+
+// ModeOf classifies a switch-resident group stage.
+func ModeOf(st *compiler.Stage) MergeMode {
+	if keyHasSwitch(st.Key) {
+		return ModeUnion
+	}
+	switch st.Fold.Merge {
+	case fold.MergeAssoc:
+		if st.Fold.Combine != nil {
+			return ModeAssoc
+		}
+	case fold.MergeLinear:
+		if st.Fold.Linear != nil && st.Fold.Linear.IsCommutative() {
+			return ModeAdd
+		}
+	}
+	return ModeEpoch
+}
+
+// keyHasSwitch reports whether a grouping key pins each key value to one
+// switch. qid encodes the switch in its upper half; the bare queue index
+// does not.
+func keyHasSwitch(k *compiler.KeySpec) bool {
+	for _, f := range k.Fields {
+		if f == trace.FieldQID || f == trace.FieldSwitch {
+			return true
+		}
+	}
+	return false
+}
+
+// NetworkExact reports whether every switch-resident stage of the plan
+// reconciles without dropping keys (no ModeEpoch member) — the condition
+// under which the fabric's network-wide tables cover exactly the key set
+// a single network-wide datapath would produce.
+func NetworkExact(plan *compiler.Plan) bool {
+	for _, sp := range plan.Programs {
+		for _, st := range sp.Members {
+			if ModeOf(st) == ModeEpoch {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Accuracy is a (valid, total) network-wide key count per program.
+type Accuracy struct{ Valid, Total int }
+
+// switchSource is one switch's worth of per-member state — implemented
+// by *switchsim.Datapath (the real fabric) and by the exec-backed
+// ground-truth engine adapter.
+type switchSource interface {
+	RangeMember(pi, mi int, fn func(key packet.Key128, keyVals, state []float64, valid bool) bool)
+	SelectRows(name string) [][]float64
+}
+
+// netEntry accumulates one key's network-wide state during
+// reconciliation.
+type netEntry struct {
+	keyVals []float64
+	state   []float64
+	invalid bool
+}
+
+// networkTables reconciles per-switch sources (in the given order, which
+// must be deterministic — callers pass switch-ID order) into one table
+// per switch-resident stage, plus per-program spatial accuracy.
+//
+// Select-over-T stages are per-record mirrors: every record is owned by
+// exactly one switch, so the network-wide multiset is the concatenation
+// of per-switch rows, exact for every query. Group stages merge per
+// their MergeMode.
+func networkTables(plan *compiler.Plan, srcs []switchSource) (map[string]*exec.Table, []Accuracy) {
+	out := map[string]*exec.Table{}
+	acc := make([]Accuracy, len(plan.Programs))
+
+	for _, st := range plan.Stages {
+		if st.Kind == compiler.KindSelect && st.Input == nil {
+			var rows [][]float64
+			for _, s := range srcs {
+				rows = append(rows, s.SelectRows(st.Name)...)
+			}
+			t := &exec.Table{Schema: st.Schema, Rows: rows}
+			t.Sort()
+			out[st.Name] = t
+		}
+	}
+
+	for pi, sp := range plan.Programs {
+		for mi, st := range sp.Members {
+			mode := ModeOf(st)
+			m := st.Fold.StateLen()
+			s0 := make([]float64, m)
+			st.Fold.Init(s0)
+			entries := map[packet.Key128]*netEntry{}
+			for _, s := range srcs {
+				s.RangeMember(pi, mi, func(key packet.Key128, keyVals, state []float64, valid bool) bool {
+					e := entries[key]
+					if e == nil {
+						e = &netEntry{keyVals: append([]float64(nil), keyVals...)}
+						entries[key] = e
+					}
+					switch {
+					case !valid:
+						// Untrustworthy within its own switch (multi-epoch
+						// key of a non-mergeable fold): untrustworthy
+						// network-wide too.
+						e.invalid = true
+					case e.state == nil:
+						e.state = append([]float64(nil), state...)
+					default:
+						switch mode {
+						case ModeAdd:
+							for i := range e.state {
+								e.state[i] += state[i] - s0[i]
+							}
+						case ModeAssoc:
+							st.Fold.Combine(e.state, state)
+						default:
+							// ModeEpoch: second switch, no sound merge.
+							// ModeUnion cannot collide (the key pins the
+							// switch); treat a collision as corruption and
+							// drop the key rather than emit a wrong row.
+							e.invalid = true
+						}
+					}
+					return true
+				})
+			}
+			rows := make([][]float64, 0, len(entries))
+			for _, e := range entries {
+				if e.invalid || e.state == nil {
+					continue
+				}
+				rows = append(rows, exec.GroupRow(st, e.keyVals, e.state))
+			}
+			acc[pi].Valid += len(rows)
+			acc[pi].Total += len(entries)
+			t := &exec.Table{Schema: st.Schema, Rows: rows}
+			t.Sort()
+			out[st.Name] = t
+		}
+	}
+	return out, acc
+}

@@ -1,0 +1,328 @@
+// Package fabric deploys a compiled query across a whole network: one
+// independent switch datapath (cache + backing store, §3's co-design)
+// per physical switch of a topology, fed by demultiplexing the record
+// stream on the switch half of each record's queue ID, plus a collector
+// that reconciles the per-switch backing stores into network-wide
+// results.
+//
+// The paper places its programmable key-value store on each switch; a
+// network of switches therefore holds one independent store per switch
+// for every query, and a key whose GROUPBY excludes the switch (a flow
+// key, say) accumulates state on every switch its packets traverse. The
+// collector's job is the spatial analogue of §3.2's temporal merge:
+//
+//   - Keys that include the switch dimension (qid or switch in the
+//     GROUPBY) live on exactly one switch; the network-wide table is the
+//     disjoint union of per-switch tables — exact for every fold.
+//   - Commutative folds (identity-A linear updates with packet-pure B:
+//     COUNT, SUM, AVG's pair) and associative folds (MAX/MIN) merge
+//     per-switch states exactly regardless of how the sub-streams
+//     interleaved in time.
+//   - Everything else gets epoch-in-space semantics: a key observed by
+//     more than one switch has no sound network-wide value (an EWMA's
+//     trajectory depends on the global packet interleaving, which the
+//     per-switch states cannot reconstruct), so such keys are dropped
+//     from the network table and counted against spatial accuracy —
+//     exactly how §3.2 treats multi-epoch keys in time. Per-switch
+//     tables remain exact; queries wanting network-wide answers for
+//     such folds include switch or qid in their key.
+//
+// The total cache SRAM budget is divided evenly across switches, so a
+// fabric run occupies the same silicon operating point as the
+// single-switch baseline it is compared against.
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"perfq/internal/compiler"
+	"perfq/internal/exec"
+	"perfq/internal/kvstore"
+	"perfq/internal/switchsim"
+	"perfq/internal/topo"
+	"perfq/internal/trace"
+)
+
+// batch is the records-per-channel-send granularity of the parallel run;
+// inflight the per-switch channel depth in batches (see internal/shard
+// for the sizing rationale).
+const (
+	batch    = 256
+	inflight = 4
+)
+
+// Config configures a fabric deployment.
+type Config struct {
+	// Switch is the per-switch datapath template. Its Geometry is the
+	// TOTAL cache budget for the whole fabric, divided evenly across
+	// switches (zero selects the paper's 2^18-pair 8-way point); Shards
+	// shards each switch's datapath internally.
+	Switch switchsim.Config
+	// Serial disables the per-switch worker goroutines in Run.
+	Serial bool
+}
+
+// Fabric is a deployed query: one datapath per switch plus the collector.
+type Fabric struct {
+	plan  *compiler.Plan
+	topo  *topo.Topology
+	cfg   Config
+	swGeo kvstore.Geometry // each switch's actual cache slice
+	ids   []uint16
+	dps   map[uint16]*switchsim.Datapath
+
+	packets  uint64
+	unrouted uint64
+
+	// Collector memoization (Run → Collect → Accuracy read the same
+	// reconciliation).
+	netTabs map[string]*exec.Table
+	netAcc  []Accuracy
+}
+
+// New deploys a plan across every switch of a topology. Switch ID 0 —
+// the host-NIC pseudo switch whose queues model sending NICs — gets a
+// datapath like any other, so every record of the stream is owned by
+// exactly one store.
+func New(plan *compiler.Plan, t *topo.Topology, cfg Config) (*Fabric, error) {
+	if t == nil {
+		return nil, fmt.Errorf("fabric: nil topology")
+	}
+	ids := t.SwitchIDs()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("fabric: topology has no queues")
+	}
+	if cfg.Switch.Geometry == (kvstore.Geometry{}) {
+		cfg.Switch.Geometry = kvstore.SetAssociative(1<<18, 8)
+	}
+	swCfg := cfg.Switch
+	swCfg.Geometry = cfg.Switch.Geometry.Split(len(ids))
+	f := &Fabric{
+		plan: plan, topo: t, cfg: cfg, swGeo: swCfg.Geometry,
+		ids: ids, dps: make(map[uint16]*switchsim.Datapath, len(ids)),
+	}
+	for _, id := range ids {
+		dp, err := switchsim.New(plan, swCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: switch %d (%s): %w", id, t.SwitchName(id), err)
+		}
+		f.dps[id] = dp
+	}
+	return f, nil
+}
+
+// Switches returns the hardware switch IDs hosting a datapath, ascending.
+func (f *Fabric) Switches() []uint16 { return f.ids }
+
+// SwitchName names a switch for reports ("leaf0", "hostnic", …).
+func (f *Fabric) SwitchName(sw uint16) string { return f.topo.SwitchName(sw) }
+
+// Datapath returns the datapath deployed on a switch (nil if unknown).
+func (f *Fabric) Datapath(sw uint16) *switchsim.Datapath { return f.dps[sw] }
+
+// SwitchGeometry returns the cache slice each switch actually received —
+// the configured total after Split, which rounds bucket counts down to a
+// power of two (so Pairs()·len(Switches()) may be below the budget, never
+// above it).
+func (f *Fabric) SwitchGeometry() kvstore.Geometry { return f.swGeo }
+
+// Packets returns how many records the fabric has routed to a switch.
+func (f *Fabric) Packets() uint64 { return f.packets }
+
+// Unrouted returns how many records carried a switch ID absent from the
+// topology (skipped; a trace/topology mismatch).
+func (f *Fabric) Unrouted() uint64 { return f.unrouted }
+
+// Process routes one record to its owning switch's datapath, inline on
+// the calling goroutine.
+func (f *Fabric) Process(rec *trace.Record) {
+	dp, ok := f.dps[rec.QID.Switch()]
+	if !ok {
+		f.unrouted++
+		return
+	}
+	f.packets++
+	dp.Process(rec)
+}
+
+// Run streams a whole source through the fabric and flushes every
+// switch. Unless Config.Serial is set, one worker goroutine per switch
+// drains batched record channels filled by a single demultiplexing
+// feeder — per-switch arrival order (and therefore every store's state
+// trajectory) is identical to the serial path, so the two modes produce
+// bit-identical results.
+func (f *Fabric) Run(src trace.Source) error {
+	if f.cfg.Serial || len(f.ids) == 1 {
+		if err := eachRecord(src, f.Process); err != nil {
+			return err
+		}
+		f.Flush()
+		return nil
+	}
+
+	idx := make(map[uint16]int, len(f.ids))
+	chans := make([]chan []trace.Record, len(f.ids))
+	var wg sync.WaitGroup
+	for i, id := range f.ids {
+		idx[id] = i
+		ch := make(chan []trace.Record, inflight)
+		chans[i] = ch
+		dp := f.dps[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for recs := range ch {
+				for j := range recs {
+					dp.Process(&recs[j])
+				}
+				recycle.Put(recs[:0]) //nolint:staticcheck // slice header boxing is fine here
+			}
+		}()
+	}
+	pend := make([][]trace.Record, len(f.ids))
+	feed := func(rec *trace.Record) {
+		i, ok := idx[rec.QID.Switch()]
+		if !ok {
+			f.unrouted++
+			return
+		}
+		f.packets++
+		b := pend[i]
+		if b == nil {
+			b = recycle.Get().([]trace.Record)
+		}
+		b = append(b, *rec)
+		if len(b) >= batch {
+			chans[i] <- b
+			b = nil
+		}
+		pend[i] = b
+	}
+	err := eachRecord(src, feed)
+	for i, ch := range chans {
+		if len(pend[i]) > 0 {
+			ch <- pend[i]
+			pend[i] = nil
+		}
+		close(ch)
+	}
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	f.Flush()
+	return nil
+}
+
+// recycle pools record batches across runs.
+var recycle = sync.Pool{New: func() any { return make([]trace.Record, 0, batch) }}
+
+// eachRecord drives fn over a source, using the bulk slice path when
+// available.
+func eachRecord(src trace.Source, fn func(*trace.Record)) error {
+	if ss, ok := src.(*trace.SliceSource); ok {
+		rest := ss.Rest()
+		for i := range rest {
+			fn(&rest[i])
+		}
+		return nil
+	}
+	var rec trace.Record
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(&rec)
+	}
+}
+
+// Flush evicts every switch's cache-resident entries into its backing
+// stores and invalidates any memoized collector state.
+func (f *Fabric) Flush() {
+	for _, id := range f.ids {
+		f.dps[id].Flush()
+	}
+	f.netTabs, f.netAcc = nil, nil
+}
+
+// sources lists the per-switch state sources in switch-ID order — the
+// fixed reconciliation order both the datapath and the ground-truth
+// collector use, so their float arithmetic associates identically.
+func (f *Fabric) sources() []switchSource {
+	srcs := make([]switchSource, len(f.ids))
+	for i, id := range f.ids {
+		srcs[i] = f.dps[id]
+	}
+	return srcs
+}
+
+// NetworkTables reconciles the per-switch backing stores into
+// network-wide tables for every switch-resident stage (call after Run,
+// or Flush first). The result is memoized until the next Flush.
+func (f *Fabric) NetworkTables() map[string]*exec.Table {
+	if f.netTabs == nil {
+		f.netTabs, f.netAcc = networkTables(f.plan, f.sources())
+	}
+	return f.netTabs
+}
+
+// Collect runs the full collector: network-wide reconciliation of the
+// switch-resident stages, then the downstream (off-switch) stages over
+// the merged tables. It returns every stage's table.
+func (f *Fabric) Collect() (map[string]*exec.Table, error) {
+	eng := exec.New(f.plan)
+	for name, t := range f.NetworkTables() {
+		eng.SetTable(name, t)
+	}
+	return eng.Finish()
+}
+
+// SwitchTables materializes the full plan from one switch's stores alone
+// — the per-switch view of the query (downstream stages evaluated over
+// that switch's tables).
+func (f *Fabric) SwitchTables(sw uint16) (map[string]*exec.Table, error) {
+	dp, ok := f.dps[sw]
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown switch %d", sw)
+	}
+	return dp.Collect()
+}
+
+// Accuracy returns network-wide (valid, total) key counts for switch
+// program i, summed over the program's members: a key is invalid if any
+// switch's store holds an untrustworthy value for it, or if it was
+// observed by multiple switches under a fold with no sound spatial merge
+// — the spatial extension of Figure 6's metric.
+func (f *Fabric) Accuracy(i int) (valid, total int) {
+	f.NetworkTables()
+	return f.netAcc[i].Valid, f.netAcc[i].Total
+}
+
+// Stats sums per-program cache statistics across all switches.
+func (f *Fabric) Stats() []kvstore.Stats {
+	out := make([]kvstore.Stats, len(f.plan.Programs))
+	for _, id := range f.ids {
+		for i, s := range f.dps[id].Stats() {
+			out[i] = out[i].Add(s)
+		}
+	}
+	return out
+}
+
+// RunPlan is the one-call pipeline: fabric over src, then the collector.
+func RunPlan(plan *compiler.Plan, t *topo.Topology, src trace.Source, cfg Config) (map[string]*exec.Table, error) {
+	f, err := New(plan, t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Run(src); err != nil {
+		return nil, err
+	}
+	return f.Collect()
+}

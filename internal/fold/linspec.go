@@ -151,6 +151,44 @@ func (ls *LinearSpec) Scalar() (a float64, bCode *Code, bConst float64, ok bool)
 	return ls.aCoef[0].val, ls.bCoef[0].code, ls.bCoef[0].val, true
 }
 
+// IsCommutative reports whether the linear update commutes across
+// arbitrary interleavings of the record stream: A is constantly the
+// identity matrix and every B entry is a pure function of the current
+// record (no history-variable references). For such folds — COUNT, SUM,
+// AVG's (sum, count) pair, presence counters — the state after any
+// interleaving of two disjoint sub-streams is S0 plus the per-sub-stream
+// deltas, so partitions of the stream by space (one store per switch)
+// merge just as exactly as partitions by time (cache epochs). EWMA fails
+// the A-identity test; history folds (TCP out-of-sequence) fail the
+// B-purity test, because "the previous packet" differs per sub-stream.
+func (ls *LinearSpec) IsCommutative() bool {
+	m := ls.Dim()
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			e := ls.A[i][j]
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e == nil {
+				if want != 0 {
+					return false
+				}
+				continue
+			}
+			if exprHasRefs(e) || EvalExpr(e, nil, nil) != want {
+				return false
+			}
+		}
+	}
+	for _, e := range ls.B {
+		if findBadStateRef(e, nil) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // FieldMask returns the union of raw-record fields the compiled
 // coefficients read (zero until EnsureCompiled succeeds).
 func (ls *LinearSpec) FieldMask() uint32 {

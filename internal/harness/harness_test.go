@@ -199,3 +199,33 @@ func TestBackingThroughputSmoke(t *testing.T) {
 		t.Error("throughput format incomplete")
 	}
 }
+
+// TestNetScenario runs the network-wide loss-localization scenario at CI
+// scale: the fabric must localize the incast to the receiver's leaf
+// downlink (leaf0 port 0) and agree bit-for-bit with the single-datapath
+// baseline on every drop table.
+func TestNetScenario(t *testing.T) {
+	res, err := RunNet(DefaultNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops == 0 {
+		t.Fatal("scenario produced no drops")
+	}
+	if res.HotSwitch != "leaf0" || res.HotQueue != 0 {
+		t.Errorf("localized %s port %d, want leaf0 port 0", res.HotSwitch, res.HotQueue)
+	}
+	if !res.Identical {
+		t.Error("fabric drop tables diverged from the single-datapath baseline")
+	}
+	if res.PerSwitch[0].Switch != "leaf0" {
+		t.Errorf("top drop share at %s, want leaf0", res.PerSwitch[0].Switch)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	for _, want := range []string{"leaf0", "bit-identical", "congested hop"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}

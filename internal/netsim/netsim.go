@@ -264,6 +264,56 @@ func (s *Sim) Incast(receiver topo.NodeID, n, burstPkts int, start int64) error 
 	return nil
 }
 
+// Workload is the canonical fabric exercise shared by the -topo tools
+// (pqrun, tracegen) and the network-wide examples: uniform-random
+// background flows, optionally preceded by an incast burst at the
+// topology's first host. The zero value of every field selects a
+// sensible default; the same (topology, workload) pair always produces
+// the same records.
+type Workload struct {
+	Seed int64
+	// Flows is the background flow count (default 200).
+	Flows int
+	// MinPkts/MaxPkts bound background flow sizes (defaults 10/60).
+	MinPkts, MaxPkts int
+	// WindowNs spreads background flow starts (default 5ms).
+	WindowNs int64
+	// IncastSenders, when positive, schedules that many senders bursting
+	// IncastPkts packets (default 120) at the first host.
+	IncastSenders int
+	IncastPkts    int
+}
+
+// GenWorkload simulates a workload over a topology and returns the
+// resulting record stream (the table T).
+func GenWorkload(t *topo.Topology, w Workload) ([]trace.Record, error) {
+	if w.Flows == 0 {
+		w.Flows = 200
+	}
+	if w.MinPkts == 0 {
+		w.MinPkts = 10
+	}
+	if w.MaxPkts == 0 {
+		w.MaxPkts = 60
+	}
+	if w.WindowNs == 0 {
+		w.WindowNs = 5_000_000
+	}
+	if w.IncastPkts == 0 {
+		w.IncastPkts = 120
+	}
+	s := New(t, w.Seed)
+	if w.IncastSenders > 0 {
+		if err := s.Incast(t.Hosts()[0], w.IncastSenders, w.IncastPkts, w.WindowNs/4); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.UniformRandom(w.Flows, w.MinPkts, w.MaxPkts, w.WindowNs); err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
 // UniformRandom schedules n flows between uniformly random distinct host
 // pairs, with sizes in [minPkts, maxPkts] and start times in [0, window).
 func (s *Sim) UniformRandom(n, minPkts, maxPkts int, windowNs int64) error {

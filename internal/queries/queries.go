@@ -111,6 +111,17 @@ R2 = SELECT * FROM R1 WHERE perc.high / perc.tot > 0.01
 	},
 }
 
+// LossByQueue is the per-queue loss pipeline of the network-wide
+// localization scenario (examples/losslocalize embeds its own copy for
+// readability): traffic and drop counts per queue, drop rate joined at
+// the collector. The qid key pins every row to one switch, so the
+// fabric's union merge reconciles it exactly.
+const LossByQueue = `
+R1 = SELECT COUNT GROUPBY qid
+R2 = SELECT COUNT GROUPBY qid WHERE tout == infinity
+R3 = SELECT R2.count / R1.count AS droprate, R2.count AS drops FROM R1 JOIN R2 ON qid
+`
+
 // ByName returns the Fig. 2 example with the given name, or nil.
 func ByName(name string) *Example {
 	for i := range Fig2 {

@@ -469,6 +469,65 @@ type keyedRef struct {
 	idx    int32
 }
 
+// RangeMember iterates every key of program pi's member mi across all
+// shards, yielding the 128-bit store key, the resolved key component
+// values, the member's raw state slice within the fused program state,
+// and whether the backing store trusts the value for the full window.
+// Invalid keys (multi-epoch keys of a non-mergeable fold) are reported
+// with a nil state. Keys the member never saw (presence counter zero in a
+// multi-member store) are skipped. This is the state-level read the
+// network-wide fabric collector reconciles across switches; Tables is the
+// projected single-switch view of the same data.
+func (d *Datapath) RangeMember(pi, mi int, fn func(key packet.Key128, keyVals, state []float64, valid bool) bool) {
+	sp := d.plan.Programs[pi]
+	st := sp.Members[mi]
+	m := st.Fold.StateLen()
+	off := sp.Offsets[mi]
+	pidx := sp.PresIdx[mi]
+	nk := sp.Key.NumComponents()
+	for _, sh := range d.shards {
+		ps := sh.progs[pi]
+		cont := true
+		ps.store.RangeAll(func(key packet.Key128, state []float64, valid bool) bool {
+			if valid && pidx >= 0 && state[pidx] <= 0 {
+				return true // no record of this member's query saw the key
+			}
+			var kv [8]float64
+			if ps.keyVals != nil {
+				copy(kv[:nk], ps.keyVals[key])
+			} else {
+				sp.Key.Unpack(key, kv[:nk])
+			}
+			var ms []float64
+			if valid {
+				ms = state[off : off+m]
+			}
+			cont = fn(key, kv[:nk], ms, valid)
+			return cont
+		})
+		if !cont {
+			return
+		}
+	}
+}
+
+// SelectRows returns the mirrored rows of a select-over-T stage by name,
+// concatenated across shards (a multiset; callers sort after merging).
+// Nil if the stage is not a select over T.
+func (d *Datapath) SelectRows(name string) [][]float64 {
+	for si, st := range d.selStgs {
+		if st.Name != name {
+			continue
+		}
+		var rows [][]float64
+		for _, sh := range d.shards {
+			rows = append(rows, sh.selRows[si]...)
+		}
+		return rows
+	}
+	return nil
+}
+
 // Collect runs the collector: downstream stages evaluated over the
 // switch-materialized tables, returning every stage's table.
 func (d *Datapath) Collect() (map[string]*exec.Table, error) {

@@ -1,0 +1,46 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a topology from a compact textual description — the
+// shared syntax of every tool that takes a -topo flag (pqrun, tracegen)
+// and of the examples:
+//
+//	chain:N           hostA — s1 — … — sN — hostB
+//	leafspine:LxSxH   L leaf switches, S spines, H hosts per leaf
+//
+// opt tunes link parameters exactly as the constructors do.
+func ParseSpec(spec string, opt Options) (*Topology, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("topo: spec %q: want kind:args (chain:N or leafspine:LxSxH)", spec)
+	}
+	switch kind {
+	case "chain":
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("topo: spec %q: chain wants a positive switch count", spec)
+		}
+		return Chain(n, opt), nil
+	case "leafspine":
+		parts := strings.Split(arg, "x")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("topo: spec %q: leafspine wants LxSxH", spec)
+		}
+		dims := make([]int, 3)
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("topo: spec %q: leafspine wants three positive dimensions", spec)
+			}
+			dims[i] = v
+		}
+		return LeafSpine(dims[0], dims[1], dims[2], opt), nil
+	default:
+		return nil, fmt.Errorf("topo: spec %q: unknown kind %q (chain, leafspine)", spec, kind)
+	}
+}

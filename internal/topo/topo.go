@@ -7,6 +7,7 @@ package topo
 
 import (
 	"fmt"
+	"sort"
 
 	"perfq/internal/packet"
 	"perfq/internal/trace"
@@ -54,6 +55,11 @@ type Topology struct {
 	// hostAddr maps hosts to stable IPv4 addresses (10.h.h.h).
 	hostAddr map[NodeID]packet.Addr4
 	byAddr   map[packet.Addr4]NodeID
+	// swIDs lists the distinct hardware switch IDs carried by link queue
+	// IDs, ascending; swName names each (ID 0 is the host-NIC pseudo
+	// switch).
+	swIDs  []uint16
+	swName map[uint16]string
 }
 
 // build finalizes adjacency and host addressing.
@@ -73,7 +79,30 @@ func (t *Topology) build() {
 			h++
 		}
 	}
+	t.swName = map[uint16]string{}
+	for _, l := range t.Links {
+		sw := l.QID.Switch()
+		if _, seen := t.swName[sw]; seen {
+			continue
+		}
+		name := "hostnic"
+		if sw != 0 {
+			name = t.Nodes[l.From].Name
+		}
+		t.swName[sw] = name
+		t.swIDs = append(t.swIDs, sw)
+	}
+	sort.Slice(t.swIDs, func(i, j int) bool { return t.swIDs[i] < t.swIDs[j] })
 }
+
+// SwitchIDs returns the distinct hardware switch IDs of the topology's
+// queues in ascending order. ID 0, when present, is the host-NIC pseudo
+// switch: host uplink queues model the sending NIC and carry switch ID 0.
+func (t *Topology) SwitchIDs() []uint16 { return t.swIDs }
+
+// SwitchName returns a human-readable name for a hardware switch ID
+// ("leaf0", "spine1", "hostnic"), or "" for unknown IDs.
+func (t *Topology) SwitchName(sw uint16) string { return t.swName[sw] }
 
 // HostAddr returns the IPv4 address assigned to a host.
 func (t *Topology) HostAddr(id NodeID) packet.Addr4 { return t.hostAddr[id] }

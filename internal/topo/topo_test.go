@@ -1,9 +1,11 @@
 package topo
 
 import (
+	"fmt"
 	"testing"
 
 	"perfq/internal/packet"
+	"perfq/internal/trace"
 )
 
 func TestLeafSpineStructure(t *testing.T) {
@@ -101,6 +103,128 @@ func TestChainStructure(t *testing.T) {
 	// And the reverse direction works too.
 	if _, err := tp.Route(hosts[1], hosts[0], ft); err != nil {
 		t.Errorf("reverse route: %v", err)
+	}
+}
+
+// TestECMPRouteDeterminism: routing is a pure function of (src, dst,
+// flow) — the same flow always takes the same path, and distinct flows
+// between the same host pair actually spread across the equal-cost
+// spine choices (otherwise "ECMP" is a single path with extra steps).
+func TestECMPRouteDeterminism(t *testing.T) {
+	tp := LeafSpine(4, 4, 4, Options{})
+	hosts := tp.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+
+	ft := packet.FiveTuple{SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP}
+	ft.Src, ft.Dst = tp.HostAddr(src), tp.HostAddr(dst)
+	first, err := tp.Route(src, dst, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, err := tp.Route(src, dst, ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != len(first) {
+			t.Fatalf("path length changed across calls: %d vs %d", len(p), len(first))
+		}
+		for j := range p {
+			if p[j] != first[j] {
+				t.Fatalf("route not deterministic: call %d diverged at hop %d", i, j)
+			}
+		}
+	}
+
+	// Vary the source port: the spine hop (index 1 of a 4-hop cross-leaf
+	// path) must take more than one value across flows.
+	spines := map[int]bool{}
+	for port := uint16(1); port <= 64; port++ {
+		f := ft
+		f.SrcPort = port
+		p, err := tp.Route(src, dst, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != 4 {
+			t.Fatalf("cross-leaf path length %d, want 4", len(p))
+		}
+		spines[p[1]] = true
+	}
+	if len(spines) < 2 {
+		t.Errorf("64 flows all hashed to one spine uplink; ECMP spread broken")
+	}
+}
+
+// TestLeafSpineQueueIDEncoding pins the switch-ID layout the fabric
+// demultiplexes on: host NIC queues carry switch 0, leaves 1..L, spines
+// L+1..L+S, with the queue index in the low half — and SwitchIDs/
+// SwitchName report exactly that inventory.
+func TestLeafSpineQueueIDEncoding(t *testing.T) {
+	const L, S, H = 4, 2, 8
+	tp := LeafSpine(L, S, H, Options{})
+	for _, l := range tp.Links {
+		sw := l.QID.Switch()
+		from := tp.Nodes[l.From]
+		switch {
+		case from.Kind == Host:
+			if sw != 0 {
+				t.Fatalf("host uplink %v carries switch %d, want 0", l.QID, sw)
+			}
+		case sw >= 1 && sw <= L:
+			if want := fmt.Sprintf("leaf%d", sw-1); from.Name != want {
+				t.Fatalf("switch ID %d on node %s, want %s", sw, from.Name, want)
+			}
+		case sw > L && sw <= L+S:
+			if want := fmt.Sprintf("spine%d", sw-L-1); from.Name != want {
+				t.Fatalf("switch ID %d on node %s, want %s", sw, from.Name, want)
+			}
+		default:
+			t.Fatalf("switch ID %d out of range on %s", sw, from.Name)
+		}
+		// The queue index round-trips through MakeQueueID.
+		if trace.MakeQueueID(sw, l.QID.Queue()) != l.QID {
+			t.Fatalf("queue ID %v does not round-trip (switch %d, queue %d)",
+				l.QID, sw, l.QID.Queue())
+		}
+	}
+	ids := tp.SwitchIDs()
+	if len(ids) != L+S+1 {
+		t.Fatalf("SwitchIDs: %d entries, want %d (L+S+hostnic)", len(ids), L+S+1)
+	}
+	for i, id := range ids {
+		if i > 0 && ids[i-1] >= id {
+			t.Fatalf("SwitchIDs not strictly ascending: %v", ids)
+		}
+		if tp.SwitchName(id) == "" {
+			t.Fatalf("switch %d has no name", id)
+		}
+	}
+	if tp.SwitchName(0) != "hostnic" {
+		t.Errorf("SwitchName(0) = %q, want hostnic", tp.SwitchName(0))
+	}
+}
+
+// TestParseSpec covers the shared -topo syntax.
+func TestParseSpec(t *testing.T) {
+	tp, err := ParseSpec("leafspine:4x2x8", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tp.Hosts()); got != 32 {
+		t.Errorf("leafspine:4x2x8 hosts = %d, want 32", got)
+	}
+	tp, err = ParseSpec("chain:3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tp.SwitchIDs()); got != 4 { // 3 switches + hostnic
+		t.Errorf("chain:3 switch IDs = %d, want 4", got)
+	}
+	for _, bad := range []string{"", "leafspine", "leafspine:4x2", "leafspine:0x2x8", "chain:x", "chain:-1", "ring:4"} {
+		if _, err := ParseSpec(bad, Options{}); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
 	}
 }
 

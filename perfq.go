@@ -31,10 +31,12 @@ import (
 
 	"perfq/internal/compiler"
 	"perfq/internal/exec"
+	"perfq/internal/fabric"
 	"perfq/internal/fold"
 	"perfq/internal/kvstore"
 	"perfq/internal/lang"
 	"perfq/internal/switchsim"
+	"perfq/internal/topo"
 	"perfq/internal/trace"
 	"perfq/internal/tracegen"
 )
@@ -136,22 +138,30 @@ func (q *Query) Describe(w io.Writer) {
 	}
 }
 
+// runConfig collects everything the run options configure: the (per-
+// switch) datapath template, and the topology of a fabric deployment.
+type runConfig struct {
+	sw   switchsim.Config
+	topo *topo.Topology
+}
+
 // RunOption configures Run.
-type RunOption func(*switchsim.Config)
+type RunOption func(*runConfig)
 
 // WithCache sets the on-chip cache geometry (pairs total, ways per
 // bucket). ways = 0 selects fully associative; ways = 1 a plain hash
 // table. The default is the paper's preferred point: 2^18 pairs, 8-way
-// (32 Mbit at 128 bits per pair).
+// (32 Mbit at 128 bits per pair). Under WithFabric the pair count is the
+// total budget for the whole network, divided evenly across switches.
 func WithCache(pairs, ways int) RunOption {
-	return func(c *switchsim.Config) {
+	return func(c *runConfig) {
 		switch {
 		case ways <= 0:
-			c.Geometry = kvstore.FullyAssociative(pairs)
+			c.sw.Geometry = kvstore.FullyAssociative(pairs)
 		case ways == 1:
-			c.Geometry = kvstore.HashTable(pairs)
+			c.sw.Geometry = kvstore.HashTable(pairs)
 		default:
-			c.Geometry = kvstore.SetAssociative(pairs, ways)
+			c.sw.Geometry = kvstore.SetAssociative(pairs, ways)
 		}
 	}
 }
@@ -159,7 +169,23 @@ func WithCache(pairs, ways int) RunOption {
 // WithoutExactMerge disables the linear-in-state merge machinery (the
 // ablation of §3.2: evictions degrade to per-epoch values).
 func WithoutExactMerge() RunOption {
-	return func(c *switchsim.Config) { c.DisableExactMerge = true }
+	return func(c *runConfig) { c.sw.DisableExactMerge = true }
+}
+
+// WithFabric deploys the query network-wide: one independent switch
+// datapath (its own cache slice and backing store) per switch of the
+// topology, records demultiplexed to the owning switch by the switch
+// half of their queue ID, and a collector that reconciles per-switch
+// stores into network-wide tables — disjoint union when the GROUPBY
+// includes the switch, exact state merge for commutative/associative
+// folds, and epoch-in-space semantics otherwise (see internal/fabric).
+// Per-switch views are available through Results.SwitchTable. The cache
+// budget (WithCache, or the default) is split across switches so the
+// fabric occupies the same silicon operating point as the single-switch
+// baseline; WithShards applies inside each switch. GroundTruth honors
+// the option too, demultiplexing its unbounded evaluation the same way.
+func WithFabric(t *topo.Topology) RunOption {
+	return func(c *runConfig) { c.topo = t }
 }
 
 // WithShards runs the datapath across n parallel shards: the record
@@ -175,18 +201,21 @@ func WithoutExactMerge() RunOption {
 // varies with cache size. GroundTruth honors the option too,
 // partitioning its unbounded evaluation the same way.
 func WithShards(n int) RunOption {
-	return func(c *switchsim.Config) { c.Shards = n }
+	return func(c *runConfig) { c.sw.Shards = n }
 }
 
 // Run executes the query on the full co-designed datapath: switch-stage
 // aggregations run through the cache + backing-store pipeline, downstream
 // stages on the collector. It returns every stage's table.
 func (q *Query) Run(src Source, opts ...RunOption) (*Results, error) {
-	var cfg switchsim.Config
+	var cfg runConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	dp, err := switchsim.New(q.plan, cfg)
+	if cfg.topo != nil {
+		return q.runFabric(src, &cfg)
+	}
+	dp, err := switchsim.New(q.plan, cfg.sw)
 	if err != nil {
 		return nil, err
 	}
@@ -209,17 +238,51 @@ func (q *Query) Run(src Source, opts ...RunOption) (*Results, error) {
 	return &Results{tables: tables, q: q, Evictions: evictions, ValidKeys: valid, TotalKeys: total}, nil
 }
 
+// runFabric executes the query across a whole topology (WithFabric).
+func (q *Query) runFabric(src Source, cfg *runConfig) (*Results, error) {
+	fab, err := fabric.New(q.plan, cfg.topo, fabric.Config{Switch: cfg.sw})
+	if err != nil {
+		return nil, err
+	}
+	if err := fab.Run(src); err != nil {
+		return nil, err
+	}
+	tables, err := fab.Collect()
+	if err != nil {
+		return nil, err
+	}
+	var evictions uint64
+	for _, s := range fab.Stats() {
+		evictions += s.Evictions
+	}
+	valid, total := 1, 1
+	if len(q.plan.Programs) > 0 {
+		valid, total = fab.Accuracy(0)
+	}
+	return &Results{
+		tables: tables, q: q, fab: fab,
+		Evictions: evictions, ValidKeys: valid, TotalKeys: total,
+	}, nil
+}
+
 // GroundTruth executes the query with unbounded memory (no cache, no
 // merging) — the reference the datapath is validated against. Of the run
 // options only WithShards applies (cache options are meaningless without
 // a cache); sharded ground truth is byte-identical to serial for every
 // query.
 func (q *Query) GroundTruth(src Source, opts ...RunOption) (*Results, error) {
-	var cfg switchsim.Config
+	var cfg runConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	tables, err := exec.RunParallel(q.plan, src, cfg.Shards)
+	if cfg.topo != nil {
+		tables, err := fabric.GroundTruth(q.plan, cfg.topo, src)
+		if err != nil {
+			return nil, err
+		}
+		return &Results{tables: tables, q: q}, nil
+	}
+	tables, err := exec.RunParallel(q.plan, src, cfg.sw.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -231,11 +294,93 @@ type Results struct {
 	tables map[string]*exec.Table
 	q      *Query
 
+	// fab is set for fabric runs (WithFabric) and backs the per-switch
+	// table accessors; switchTabs memoizes their materialization.
+	fab        *fabric.Fabric
+	switchTabs map[uint16]map[string]*exec.Table
+
 	// Evictions counts capacity evictions across all switch stores.
 	Evictions uint64
 	// ValidKeys/TotalKeys report backing-store accuracy for the first
-	// switch store (1/1 for ground truth or mergeable folds).
+	// switch store (1/1 for ground truth or mergeable folds). Fabric
+	// runs report the network-wide spatial accuracy instead.
 	ValidKeys, TotalKeys int
+}
+
+// Switches lists the hardware switch IDs of a fabric run (WithFabric) in
+// ascending order; nil for single-datapath runs. ID 0 is the host-NIC
+// pseudo switch.
+func (r *Results) Switches() []uint16 {
+	if r.fab == nil {
+		return nil
+	}
+	return r.fab.Switches()
+}
+
+// SwitchName names a fabric switch for reports ("leaf0", "hostnic", …).
+func (r *Results) SwitchName(sw uint16) string {
+	if r.fab == nil {
+		return ""
+	}
+	return r.fab.SwitchName(sw)
+}
+
+// SwitchPairs returns the cache capacity (key-value pairs) each switch
+// datapath actually received after the budget split — Geometry.Split
+// rounds down to a power-of-two bucket count, so this can be below
+// budget/len(Switches()). Zero for single-datapath runs.
+func (r *Results) SwitchPairs() int {
+	if r.fab == nil {
+		return 0
+	}
+	return r.fab.SwitchGeometry().Pairs()
+}
+
+// SwitchTable returns a stage's table as materialized from one switch's
+// stores alone — the per-switch view of a fabric run, with downstream
+// stages evaluated over that switch's tables. Nil for single-datapath
+// runs, unknown switches or unknown stages.
+func (r *Results) SwitchTable(sw uint16, name string) *Table {
+	tabs := r.switchTables(sw)
+	if tabs == nil {
+		return nil
+	}
+	t, ok := tabs[name]
+	if !ok {
+		return nil
+	}
+	return &Table{Schema: t.Schema, Rows: t.Rows}
+}
+
+// SwitchResult returns one switch's view of the query's primary result.
+func (r *Results) SwitchResult(sw uint16) *Table {
+	names := r.q.Results()
+	if len(names) == 0 {
+		return nil
+	}
+	return r.SwitchTable(sw, names[len(names)-1])
+}
+
+// switchTables materializes (and memoizes) one switch's full table set.
+// A materialization failure is memoized as nil so repeated probes do not
+// re-run the failing collector pass; SwitchTables on the fabric itself
+// surfaces the error for callers that need it.
+func (r *Results) switchTables(sw uint16) map[string]*exec.Table {
+	if r.fab == nil {
+		return nil
+	}
+	if tabs, ok := r.switchTabs[sw]; ok {
+		return tabs
+	}
+	tabs, err := r.fab.SwitchTables(sw)
+	if err != nil {
+		tabs = nil
+	}
+	if r.switchTabs == nil {
+		r.switchTabs = map[uint16]map[string]*exec.Table{}
+	}
+	r.switchTabs[sw] = tabs
+	return tabs
 }
 
 // Table returns a stage's result by name (a named query like "R2", or

@@ -152,9 +152,9 @@ func diffStageCodes(t *testing.T, st *compiler.Stage, recs []trace.Record) {
 // flow's cache entry exists, processing its packets allocates nothing.
 func TestDatapathSteadyStateZeroAllocs(t *testing.T) {
 	q := MustCompile(queries.ByName("Latency EWMA").Source)
-	var cfg switchsim.Config
+	var cfg runConfig
 	WithCache(1<<12, 8)(&cfg)
-	d, err := switchsim.New(q.Plan(), cfg)
+	d, err := switchsim.New(q.Plan(), cfg.sw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +171,9 @@ func TestDatapathSteadyStateZeroAllocs(t *testing.T) {
 func TestDatapathAmortizedAllocs(t *testing.T) {
 	recs := diffRecords(t)
 	q := MustCompile(queries.ByName("Latency EWMA").Source)
-	var cfg switchsim.Config
+	var cfg runConfig
 	WithCache(1<<14, 8)(&cfg)
-	d, err := switchsim.New(q.Plan(), cfg)
+	d, err := switchsim.New(q.Plan(), cfg.sw)
 	if err != nil {
 		t.Fatal(err)
 	}
