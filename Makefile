@@ -14,27 +14,30 @@ build:
 test: build
 	$(GO) test ./...
 
-# The sharded datapath's and the fabric's concurrency contracts under
-# the race detector (the fabric equivalence suite runs one worker
-# goroutine per switch).
+# The sharded datapath's, the fabric's and the windowed runtime's
+# concurrency contracts under the race detector (the fabric equivalence
+# suite runs one worker goroutine per switch; the windowed suite
+# barriers shard pools and the fabric pump at every epoch boundary).
 race:
-	$(GO) test -race -run 'TestSharded|TestWithShards|TestPool|TestFabric' ./...
+	$(GO) test -race -run 'TestSharded|TestWithShards|TestPool|TestFabric|TestWindowed' ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
 
 # Record the perf trajectory: the sharded-datapath scaling series
 # (pkts/s, allocs/op at shards 1/2/4/8), the network-wide fabric replay
-# (pkts/s, serial vs worker-per-switch) and the fold-eval microbench,
-# written as JSON for the repo's BENCH_*.json history. pipefail so a
-# failing benchmark can't silently record a partial file.
+# (pkts/s, serial vs worker-per-switch), the windowed-runtime boundary
+# overhead (pkts/s at window sizes 1k/10k/100k vs single-window) and the
+# fold-eval microbench, written as JSON for the repo's BENCH_*.json
+# history. pipefail so a failing benchmark can't silently record a
+# partial file.
 bench-json: SHELL := /bin/bash
 bench-json:
 	set -o pipefail; \
-	{ $(GO) test -bench 'BenchmarkShardedDatapath|BenchmarkFabricDatapath' -benchtime 2s -benchmem -run XXX . && \
+	{ $(GO) test -bench 'BenchmarkShardedDatapath|BenchmarkFabricDatapath|BenchmarkWindowedDatapath' -benchtime 2s -benchmem -run XXX . && \
 	  $(GO) test -bench 'BenchmarkFoldEval' -benchtime 1s -benchmem -run XXX ./internal/fold ; } \
-	| $(GO) run ./cmd/benchjson -out BENCH_4.json
-	@cat BENCH_4.json
+	| $(GO) run ./cmd/benchjson -out BENCH_5.json
+	@cat BENCH_5.json
 
 # Hot-path diagnosis: run the reference EWMA query over a DC trace with
 # CPU and heap profiles; inspect with `go tool pprof cpu.prof`.

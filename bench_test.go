@@ -155,6 +155,48 @@ func BenchmarkShardedDatapath(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowedDatapath measures what continuous epochs cost: the
+// same EWMA replay as the sharded benchmark, closed every 1k/10k/100k
+// records (flush + materialize + reset per window) against the
+// single-window baseline. The per-packet hot loop is untouched by
+// windowing, so the delta is pure boundary overhead — it shrinks as the
+// window grows, and the 100k point should sit within noise of baseline.
+func BenchmarkWindowedDatapath(b *testing.B) {
+	cfg := tracegen.DCConfig(12, 4*time.Second)
+	cfg.DropProb = 0.005
+	recs, err := trace.Collect(tracegen.New(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustCompile(queries.ByName("Latency EWMA").Source)
+	for _, win := range []int64{0, 1_000, 10_000, 100_000} {
+		name := "single-window"
+		if win > 0 {
+			name = fmt.Sprintf("window-%d", win)
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := []RunOption{WithCache(1<<14, 8)}
+			if win > 0 {
+				opts = append(opts, WithWindow(WindowSpec{Count: win, Keep: 4}))
+			}
+			b.ReportAllocs()
+			done := 0
+			windows := int64(0)
+			b.ResetTimer()
+			for done < b.N {
+				res, err := q.Run(Records(recs), opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done += len(recs)
+				windows += res.WindowCount()
+			}
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "pkts/s")
+			b.ReportMetric(float64(windows)*float64(len(recs))/float64(done), "windows/run")
+		})
+	}
+}
+
 // BenchmarkFabricDatapath replays a leaf-spine fabric trace through the
 // network-wide deployment — one datapath per switch fed by the
 // demultiplexing feeder, then collector reconciliation — serial vs one

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|fig5|fig6|census|area|net|backing|all")
+		exp     = flag.String("exp", "all", "experiment: fig2|fig5|fig6|census|area|net|window|backing|all")
 		packets = flag.Int64("packets", 0, "override trace packet count (fig5/census)")
 		seed    = flag.Int64("seed", 2016, "trace seed")
 		full    = flag.Bool("full", false, "paper-scale fig5 (157M packets, 2^16..2^21 pairs)")
@@ -148,6 +148,21 @@ func main() {
 			return nil
 		})
 	}
+	if want("window") {
+		run("Window sweep: accuracy vs epoch length (windowed runtime)", func() error {
+			cfg := harness.DefaultWindowSweep()
+			cfg.Seed = *seed
+			if progress != nil {
+				cfg.Progress = progress
+			}
+			res, err := harness.RunWindowSweep(cfg)
+			if err != nil {
+				return err
+			}
+			res.Format(os.Stdout)
+			return nil
+		})
+	}
 	if want("backing") {
 		run("Backing-store throughput", func() error {
 			res, err := harness.RunBackingThroughput(300_000)
@@ -160,7 +175,7 @@ func main() {
 	}
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "evalhw: unknown experiment %q (fig2|fig5|fig6|census|area|net|backing|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "evalhw: unknown experiment %q (fig2|fig5|fig6|census|area|net|window|backing|all)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -13,6 +13,14 @@
 //	pqrun -trace trace.pqt query.pq
 //	pqrun -gen wan -duration 30s -pairs 65536 -ways 8 query.pq
 //	pqrun -topo leafspine:4x2x8 -flows 400 -incast 16 query.pq
+//	pqrun -window 10000 -windows-keep 8 query.pq
+//
+// With -window N (or -window-time D) the query runs as a continuous
+// stream of measurement windows: one summary line per window as it
+// closes, a bounded ring of the last -windows-keep results, and the
+// final window's tables at the end. -window-carry keeps state across
+// boundaries (cumulative windows, the paper's periodic SRAM refresh)
+// instead of the default independent tumbling windows.
 package main
 
 import (
@@ -43,6 +51,10 @@ func main() {
 		pairs      = flag.Int("pairs", 1<<18, "cache capacity in key-value pairs")
 		ways       = flag.Int("ways", 8, "cache associativity (0 = full LRU, 1 = hash table)")
 		shards     = flag.Int("shards", 1, "parallel datapath shards (1 = serial)")
+		windowN    = flag.Int64("window", 0, "close a measurement window every N records (0 = single window)")
+		windowT    = flag.Duration("window-time", 0, "close windows every D of virtual trace time")
+		windowKeep = flag.Int("windows-keep", 8, "retained ring of window results")
+		windowCar  = flag.Bool("window-carry", false, "carry state across window boundaries (cumulative)")
 		maxRows    = flag.Int("rows", 20, "rows to print per table (0 = all)")
 		truth      = flag.Bool("truth", false, "also run ground truth and report row agreement")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -159,10 +171,51 @@ func main() {
 	if fabricTopo != nil {
 		opts = append(opts, perfq.WithFabric(fabricTopo))
 	}
-	res, err := q.Run(srcRecs, opts...)
-	done()
-	if err != nil {
-		fail(err)
+
+	var res *perfq.Results
+	if *windowN > 0 || *windowT > 0 {
+		if *truth {
+			// The final window's tables cover one window (or, with
+			// -window-carry, the whole run but through the windowed
+			// datapath); comparing them against a full-trace ground truth
+			// would report spurious disagreement. Per-window ground truth
+			// is the windowed equivalence suite's job (window_equiv_test).
+			fail(fmt.Errorf("-truth is not supported together with -window/-window-time"))
+		}
+		spec := perfq.WindowSpec{
+			Count: *windowN, Interval: *windowT,
+			Carry: *windowCar, Keep: *windowKeep,
+		}
+		primary := ""
+		if names := q.Results(); len(names) > 0 {
+			primary = names[len(names)-1]
+		}
+		res, err = q.Stream(srcRecs, func(w *perfq.WindowResult) error {
+			rows := 0
+			if t := w.Result(); t != nil {
+				rows = t.Len()
+			}
+			acc := 100.0
+			if w.TotalKeys > 0 {
+				acc = 100 * float64(w.ValidKeys) / float64(w.TotalKeys)
+			}
+			fmt.Printf("window %4d: %8d records  %s rows=%-7d evictions=%-8d keys valid %5.1f%% (%d/%d)\n",
+				w.Index, w.Records, primary, rows, w.Evictions, acc, w.ValidKeys, w.TotalKeys)
+			return nil
+		}, append(opts, perfq.WithWindow(spec))...)
+		done()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\n%d windows closed, last %d retained (%d dropped from the ring)\n",
+			res.WindowCount(), len(res.Windows()), res.WindowsDropped())
+		fmt.Printf("== final window tables ==\n\n")
+	} else {
+		res, err = q.Run(srcRecs, opts...)
+		done()
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	for _, name := range q.Results() {
@@ -174,14 +227,19 @@ func main() {
 	fmt.Printf("cache evictions: %d; backing-store keys valid: %d/%d\n",
 		res.Evictions, res.ValidKeys, res.TotalKeys)
 	if sws := res.Switches(); sws != nil {
-		fmt.Printf("fabric: %d switch datapaths, %d pairs each; per-switch result rows:",
-			len(sws), res.SwitchPairs())
-		for _, sw := range sws {
-			n := 0
-			if t := res.SwitchResult(sw); t != nil {
-				n = t.Len()
+		fmt.Printf("fabric: %d switch datapaths, %d pairs each, %d unrouted records",
+			len(sws), res.SwitchPairs(), res.Unrouted())
+		if res.WindowCount() == 0 {
+			// Windowed runs reset the per-switch stores at every boundary,
+			// so the post-run per-switch views are intentionally empty.
+			fmt.Printf("; per-switch result rows:")
+			for _, sw := range sws {
+				n := 0
+				if t := res.SwitchResult(sw); t != nil {
+					n = t.Len()
+				}
+				fmt.Printf(" %s=%d", res.SwitchName(sw), n)
 			}
-			fmt.Printf(" %s=%d", res.SwitchName(sw), n)
 		}
 		fmt.Println()
 	}

@@ -19,6 +19,8 @@ import (
 	"testing"
 	"time"
 
+	"perfq/internal/netsim"
+	"perfq/internal/topo"
 	"perfq/internal/trace"
 )
 
@@ -106,6 +108,50 @@ func TestExampleQueriesEndToEnd(t *testing.T) {
 				// The sharded datapath must accept every example too.
 				if _, err := q.Run(Records(recs), WithCache(1<<12, 8), WithShards(4)); err != nil {
 					t.Fatalf("query %s does not run sharded: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestExampleQueriesThroughFabric replays every example query
+// network-wide: a small leaf-spine fabric with simulated multi-hop
+// traffic, one datapath per switch, collector-merged results. Every
+// example must compile onto the fabric, produce its result stages, and
+// surface the per-switch views — the deployment the examples' prose
+// describes, not just the single-point datapath.
+func TestExampleQueriesThroughFabric(t *testing.T) {
+	mains, err := filepath.Glob("examples/*/main.go")
+	if err != nil || len(mains) == 0 {
+		t.Fatalf("no example mains found: %v", err)
+	}
+	tp := topo.LeafSpine(2, 2, 4, topo.Options{BufBytes: 64 << 10})
+	recs, err := netsim.GenWorkload(tp, netsim.Workload{Seed: 5, Flows: 80, IncastSenders: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range mains {
+		example := filepath.Base(filepath.Dir(path))
+		t.Run(example, func(t *testing.T) {
+			for name, src := range exampleQuerySources(t, path) {
+				q, err := Compile(src)
+				if err != nil {
+					t.Fatalf("query %s does not compile: %v", name, err)
+				}
+				res, err := q.Run(Records(recs), WithCache(1<<12, 8), WithFabric(tp))
+				if err != nil {
+					t.Fatalf("query %s does not run on the fabric: %v", name, err)
+				}
+				for _, stage := range q.Results() {
+					if res.Table(stage) == nil {
+						t.Fatalf("query %s: result stage %s missing", name, stage)
+					}
+				}
+				if res.Unrouted() != 0 {
+					t.Fatalf("query %s: %d unrouted records on a matching topology", name, res.Unrouted())
+				}
+				if sws := res.Switches(); len(sws) != 5 { // 2 leaves + 2 spines + hostnic
+					t.Fatalf("query %s: %d switch datapaths, want 5", name, len(sws))
 				}
 			}
 		})

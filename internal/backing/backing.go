@@ -38,11 +38,14 @@ type Epoch struct {
 
 // entry is the store's per-key record. Merged values (linear/assoc
 // folds) live in the store's state slab at the entry's index; epoch
-// values (non-mergeable folds) hang off the entry.
+// values (non-mergeable folds) hang off the entry. win is the last
+// measurement window (BeginWindow counter) that touched the entry — the
+// window-scoped accuracy bookkeeping of the epoch runtime.
 type entry struct {
 	key    packet.Key128
 	epochs []Epoch
 	merged bool
+	win    uint32
 }
 
 // Store is the backing key-value store.
@@ -57,6 +60,14 @@ type Store struct {
 	invalid int // keys with >1 epoch (non-mergeable folds)
 	merges  uint64
 	appends uint64
+
+	// Window-scoped accounting (the epoch runtime's carry-over mode):
+	// curWin counts BeginWindow calls, winTotal the keys touched since the
+	// last boundary, winInvalid those of them whose full-history value is
+	// untrustworthy.
+	curWin     uint32
+	winTotal   int
+	winInvalid int
 }
 
 // New creates a store for the given fold. The fold's Merge kind selects
@@ -96,6 +107,7 @@ func (s *Store) HandleEviction(ev *kvstore.Eviction) {
 			return
 		}
 		i := s.slot(ev.Key)
+		s.touchValid(i)
 		s.ents[i].merged = true
 		st := s.state(i)
 		if ev.FirstRec != nil {
@@ -110,11 +122,21 @@ func (s *Store) HandleEviction(ev *kvstore.Eviction) {
 		s.merges++
 	case fold.MergeAssoc:
 		i := s.slot(ev.Key)
+		s.touchValid(i)
 		s.ents[i].merged = true
 		s.f.Combine(s.state(i), ev.State)
 		s.merges++
 	default:
 		s.appendEpoch(ev)
+	}
+}
+
+// touchValid records a window-scoped update of entry i whose merged value
+// stays trustworthy (exact-merge and associative reconciliations).
+func (s *Store) touchValid(i int32) {
+	if e := &s.ents[i]; e.win != s.curWin+1 {
+		e.win = s.curWin + 1
+		s.winTotal++
 	}
 }
 
@@ -124,8 +146,20 @@ func (s *Store) appendEpoch(ev *kvstore.Eviction) {
 	copy(st, ev.State)
 	e := &s.ents[i]
 	e.epochs = append(e.epochs, Epoch{State: st})
-	if len(e.epochs) == 2 {
+	fresh := e.win != s.curWin+1
+	if fresh {
+		e.win = s.curWin + 1
+		s.winTotal++
+	}
+	switch {
+	case len(e.epochs) == 2:
+		// This epoch flipped the key's full-history value untrustworthy.
 		s.invalid++
+		s.winInvalid++
+	case len(e.epochs) > 2 && fresh:
+		// Already invalid before this window; its first touch this window
+		// still counts against window accuracy.
+		s.winInvalid++
 	}
 	s.appends++
 }
@@ -230,12 +264,36 @@ func (s *Store) SortedKeys() []packet.Key128 {
 	return out
 }
 
-// Reset drops all keys.
+// BeginWindow opens a new window-scoped accounting interval: the keys
+// WindowAccuracy counts are those touched (merged or appended) after this
+// call. State is untouched — this is the carry-over half of the epoch
+// runtime's window close, where the store keeps accumulating across the
+// boundary and only the accounting restarts.
+func (s *Store) BeginWindow() {
+	s.curWin++
+	s.winTotal, s.winInvalid = 0, 0
+}
+
+// WindowAccuracy returns (valid, total) key counts over the keys touched
+// since the last BeginWindow: a touched key is window-valid when its
+// full-history value is still trustworthy (always, for mergeable folds;
+// single-epoch-only for the rest). Under tumbling windows — Reset at
+// every boundary — this coincides with Accuracy; under carry-over it is
+// the per-window stability metric: long-lived keys of a non-mergeable
+// fold re-evicted across a boundary turn window-invalid, which is why
+// shorter flush epochs lower whole-run accuracy (§3.2).
+func (s *Store) WindowAccuracy() (valid, total int) {
+	return s.winTotal - s.winInvalid, s.winTotal
+}
+
+// Reset drops all keys (the tumbling half of a window close). The
+// window-scoped counters restart with the key space.
 func (s *Store) Reset() {
 	s.index = make(map[packet.Key128]int32)
 	s.ents, s.slab = nil, nil
 	s.invalid = 0
 	s.merges, s.appends = 0, 0
+	s.winTotal, s.winInvalid = 0, 0
 }
 
 // Stats describes reconciliation activity.

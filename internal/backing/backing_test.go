@@ -264,3 +264,88 @@ func TestEarlyRangeExit(t *testing.T) {
 		t.Errorf("Range did not stop early: %d", count)
 	}
 }
+
+// TestWindowAccuracy covers the window-scoped accounting of the epoch
+// runtime's carry-over mode: WindowAccuracy counts only keys touched
+// since the last BeginWindow, and a key re-evicted across a boundary
+// turns window-invalid the moment its epoch count passes one.
+func TestWindowAccuracy(t *testing.T) {
+	last := &fold.Func{
+		Prog: &fold.Program{
+			Name:     "lastlen",
+			NumState: 1,
+			Body:     []fold.Stmt{fold.Assign{Dst: 0, RHS: fold.FieldRef(trace.FieldPktLen)}},
+		},
+	}
+	store := New(last)
+	ev := func(k int, v float64) {
+		store.HandleEviction(&kvstore.Eviction{Key: keyN(k), State: []float64{v}})
+	}
+
+	// Window 0: keys 1 and 2, one epoch each — both window-valid.
+	ev(1, 100)
+	ev(2, 200)
+	if v, tot := store.WindowAccuracy(); v != 2 || tot != 2 {
+		t.Fatalf("window 0 accuracy = %d/%d, want 2/2", v, tot)
+	}
+
+	// Window 1: key 1 survives the boundary (second epoch → invalid),
+	// key 3 is fresh (valid), key 2 untouched (not counted).
+	store.BeginWindow()
+	ev(1, 101)
+	ev(3, 300)
+	if v, tot := store.WindowAccuracy(); v != 1 || tot != 2 {
+		t.Fatalf("window 1 accuracy = %d/%d, want 1/2", v, tot)
+	}
+	// Whole-run accuracy counts key 1 invalid among all three keys.
+	if v, tot := store.Accuracy(); v != 2 || tot != 3 {
+		t.Fatalf("run accuracy = %d/%d, want 2/3", v, tot)
+	}
+
+	// Window 2: key 1 again (already invalid: still counts invalid once),
+	// twice within the window (no double count).
+	store.BeginWindow()
+	ev(1, 102)
+	ev(1, 103)
+	if v, tot := store.WindowAccuracy(); v != 0 || tot != 1 {
+		t.Fatalf("window 2 accuracy = %d/%d, want 0/1", v, tot)
+	}
+
+	// A key going multi-epoch within one window is that window's invalid.
+	store.BeginWindow()
+	ev(4, 400)
+	ev(4, 401)
+	if v, tot := store.WindowAccuracy(); v != 0 || tot != 1 {
+		t.Fatalf("window 3 accuracy = %d/%d, want 0/1", v, tot)
+	}
+
+	// Reset drops the key space and the window counters with it.
+	store.Reset()
+	if v, tot := store.WindowAccuracy(); v != 0 || tot != 0 {
+		t.Fatalf("post-reset window accuracy = %d/%d, want 0/0", v, tot)
+	}
+	ev(5, 500)
+	if v, tot := store.WindowAccuracy(); v != 1 || tot != 1 {
+		t.Fatalf("post-reset touch = %d/%d, want 1/1", v, tot)
+	}
+}
+
+// TestWindowAccuracyMergeable: exact-merge and associative
+// reconciliations keep every touched key window-valid no matter how many
+// boundaries it crosses.
+func TestWindowAccuracyMergeable(t *testing.T) {
+	f := fold.Max(fold.FieldRef(trace.FieldQin))
+	store := New(f)
+	for w := 0; w < 3; w++ {
+		if w > 0 {
+			store.BeginWindow()
+		}
+		store.HandleEviction(&kvstore.Eviction{Key: keyN(1), State: []float64{float64(w)}})
+		if v, tot := store.WindowAccuracy(); v != 1 || tot != 1 {
+			t.Fatalf("window %d accuracy = %d/%d, want 1/1", w, v, tot)
+		}
+	}
+	if v, tot := store.Accuracy(); v != 1 || tot != 1 {
+		t.Fatalf("run accuracy = %d/%d, want 1/1", v, tot)
+	}
+}

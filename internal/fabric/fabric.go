@@ -35,23 +35,20 @@ package fabric
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"perfq/internal/compiler"
 	"perfq/internal/exec"
 	"perfq/internal/kvstore"
+	"perfq/internal/shard"
 	"perfq/internal/switchsim"
 	"perfq/internal/topo"
 	"perfq/internal/trace"
 )
 
-// batch is the records-per-channel-send granularity of the parallel run;
-// inflight the per-switch channel depth in batches (see internal/shard
-// for the sizing rationale).
-const (
-	batch    = 256
-	inflight = 4
-)
+// batch is the records-per-channel-send granularity of the parallel run
+// (see internal/shard for the sizing rationale; the channel depth is
+// shard.Workers' inflight constant).
+const batch = 256
 
 // Config configures a fabric deployment.
 type Config struct {
@@ -76,10 +73,129 @@ type Fabric struct {
 	packets  uint64
 	unrouted uint64
 
+	// pump is the persistent worker-per-switch feeder of the streaming /
+	// windowed path (nil when idle or Serial): a shard.Workers transport
+	// demuxed by switch ID, whose Barrier aligns epoch boundaries across
+	// the fabric.
+	pump    *shard.Workers[trace.Record]
+	pumpIdx map[uint16]int
+
 	// Collector memoization (Run → Collect → Accuracy read the same
 	// reconciliation).
 	netTabs map[string]*exec.Table
 	netAcc  []Accuracy
+}
+
+// startPump launches the per-switch workers.
+func (f *Fabric) startPump() {
+	if f.pumpIdx == nil {
+		f.pumpIdx = make(map[uint16]int, len(f.ids))
+		for i, id := range f.ids {
+			f.pumpIdx[id] = i
+		}
+	}
+	dps := make([]*switchsim.Datapath, len(f.ids))
+	for i, id := range f.ids {
+		dps[i] = f.dps[id]
+	}
+	f.pump = shard.NewWorkers(len(f.ids), batch, func(i int, recs []trace.Record) {
+		dp := dps[i]
+		for j := range recs {
+			dp.Process(&recs[j])
+		}
+	})
+}
+
+// feed routes one record into the pump's batches (copying it), counting
+// unrouted switch IDs exactly like the serial Process path.
+func (f *Fabric) feed(rec *trace.Record) {
+	i, ok := f.pumpIdx[rec.QID.Switch()]
+	if !ok {
+		f.unrouted++
+		return
+	}
+	f.packets++
+	f.pump.Feed(i, *rec)
+}
+
+// Feed processes a run of records without ending the window. Unless the
+// fabric is Serial, a persistent worker-per-switch pump is started
+// lazily; call Sync to barrier at a window boundary and EndFeed when the
+// stream ends. Records are copied before Feed returns.
+func (f *Fabric) Feed(recs []trace.Record) {
+	if f.cfg.Serial || len(f.ids) == 1 {
+		for i := range recs {
+			f.Process(&recs[i])
+		}
+		return
+	}
+	if f.pump == nil {
+		f.startPump()
+	}
+	for i := range recs {
+		f.feed(&recs[i])
+	}
+}
+
+// Sync blocks until every switch's worker has applied all records fed so
+// far — per-switch arrival order is preserved by the single feeder, so
+// state trajectories stay bit-identical to a serial replay.
+func (f *Fabric) Sync() {
+	if f.pump != nil {
+		f.pump.Barrier()
+	}
+}
+
+// EndFeed drains and stops the pump (idempotent; a later Feed restarts
+// it).
+func (f *Fabric) EndFeed() {
+	if f.pump != nil {
+		f.pump.Close()
+		f.pump = nil
+	}
+}
+
+// CloseWindow ends the current measurement window network-wide: it
+// barriers the pump so every switch has applied the window's records
+// (epoch boundaries are aligned in record order across the fabric),
+// flushes every switch's caches, runs the collector merge over the
+// per-switch backing stores for this window, snapshots the network-wide
+// spatial accuracy, and then resets every switch's stores (tumbling) or
+// carries them across the boundary (carry == true).
+func (f *Fabric) CloseWindow(carry bool) (map[string]*exec.Table, []switchsim.Acc, error) {
+	f.Sync()
+	f.Flush()
+	tables, err := f.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	acc := make([]switchsim.Acc, len(f.plan.Programs))
+	for i := range acc {
+		acc[i].Valid, acc[i].Total = f.netAcc[i].Valid, f.netAcc[i].Total
+		// The window-scoped counts are backing-store level (keys touched
+		// since the previous boundary, summed across switches) — the
+		// within-switch temporal stability metric; the spatial merge has
+		// no per-window notion of its own.
+		for _, id := range f.ids {
+			wv, wt := f.dps[id].WindowAccuracy(i)
+			acc[i].WinValid += wv
+			acc[i].WinTotal += wt
+		}
+	}
+	for _, id := range f.ids {
+		dp := f.dps[id]
+		if carry {
+			dp.BeginWindow()
+		} else {
+			dp.ResetWindow()
+		}
+	}
+	if !carry {
+		// The memoized reconciliation describes the closed window, not the
+		// now-empty stores.
+		f.netTabs, f.netAcc = nil, nil
+	}
+	return tables, acc, nil
 }
 
 // New deploys a plan across every switch of a topology. Switch ID 0 —
@@ -150,9 +266,10 @@ func (f *Fabric) Process(rec *trace.Record) {
 // Run streams a whole source through the fabric and flushes every
 // switch. Unless Config.Serial is set, one worker goroutine per switch
 // drains batched record channels filled by a single demultiplexing
-// feeder — per-switch arrival order (and therefore every store's state
-// trajectory) is identical to the serial path, so the two modes produce
-// bit-identical results.
+// feeder (the same pump the windowed runtime barriers at epoch
+// boundaries) — per-switch arrival order (and therefore every store's
+// state trajectory) is identical to the serial path, so the two modes
+// produce bit-identical results.
 func (f *Fabric) Run(src trace.Source) error {
 	if f.cfg.Serial || len(f.ids) == 1 {
 		if err := eachRecord(src, f.Process); err != nil {
@@ -161,63 +278,17 @@ func (f *Fabric) Run(src trace.Source) error {
 		f.Flush()
 		return nil
 	}
-
-	idx := make(map[uint16]int, len(f.ids))
-	chans := make([]chan []trace.Record, len(f.ids))
-	var wg sync.WaitGroup
-	for i, id := range f.ids {
-		idx[id] = i
-		ch := make(chan []trace.Record, inflight)
-		chans[i] = ch
-		dp := f.dps[id]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for recs := range ch {
-				for j := range recs {
-					dp.Process(&recs[j])
-				}
-				recycle.Put(recs[:0]) //nolint:staticcheck // slice header boxing is fine here
-			}
-		}()
+	if f.pump == nil {
+		f.startPump()
 	}
-	pend := make([][]trace.Record, len(f.ids))
-	feed := func(rec *trace.Record) {
-		i, ok := idx[rec.QID.Switch()]
-		if !ok {
-			f.unrouted++
-			return
-		}
-		f.packets++
-		b := pend[i]
-		if b == nil {
-			b = recycle.Get().([]trace.Record)
-		}
-		b = append(b, *rec)
-		if len(b) >= batch {
-			chans[i] <- b
-			b = nil
-		}
-		pend[i] = b
-	}
-	err := eachRecord(src, feed)
-	for i, ch := range chans {
-		if len(pend[i]) > 0 {
-			ch <- pend[i]
-			pend[i] = nil
-		}
-		close(ch)
-	}
-	wg.Wait()
+	err := eachRecord(src, f.feed)
+	f.EndFeed()
 	if err != nil {
 		return err
 	}
 	f.Flush()
 	return nil
 }
-
-// recycle pools record batches across runs.
-var recycle = sync.Pool{New: func() any { return make([]trace.Record, 0, batch) }}
 
 // eachRecord drives fn over a source, using the bulk slice path when
 // available.

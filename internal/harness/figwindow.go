@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"perfq/internal/compiler"
+	"perfq/internal/kvstore"
+	"perfq/internal/lang"
+	"perfq/internal/netsim"
+	"perfq/internal/queries"
+	"perfq/internal/switchsim"
+	"perfq/internal/topo"
+	"perfq/internal/trace"
+	"perfq/internal/window"
+)
+
+// WindowSweepConfig parameterizes the window-length sweep: Figure 6's
+// x-axis turned into a runtime knob. The non-linear TCP non-monotonic
+// query runs over a simulated leaf-spine trace through the windowed
+// epoch runtime at several window lengths, under both boundary
+// semantics:
+//
+//   - carry-over (the paper's periodic SRAM refresh): the backing store
+//     accumulates across boundaries, so every boundary a key survives
+//     adds an eviction epoch — whole-run accuracy FALLS as windows
+//     shrink. This is the SRAM-churn side of the trade.
+//   - tumbling (independent short queries): each window is its own
+//     measurement interval, so per-window accuracy RISES as windows
+//     shrink — §3.2's "higher accuracy for shorter query windows".
+type WindowSweepConfig struct {
+	// Spec is the topology the trace is simulated over (ParseSpec
+	// syntax); Flows the workload size.
+	Spec  string
+	Flows int
+	// Windows are the epoch lengths to sweep, in records; 0 means one
+	// run-to-completion window (the pre-windowed baseline).
+	Windows []int64
+	// Pairs is the cache capacity (8-way), sized below the working set so
+	// boundaries actually churn state through the backing store.
+	Pairs    int
+	Seed     int64
+	Progress io.Writer
+}
+
+// DefaultWindowSweep is the CI-scale sweep over the fabric equivalence
+// suite's leaf-spine topology.
+func DefaultWindowSweep() WindowSweepConfig {
+	return WindowSweepConfig{
+		Spec:    "leafspine:4x2x8",
+		Flows:   2500,
+		Windows: []int64{500, 1000, 2000, 5000, 10000, 0},
+		Pairs:   1 << 8,
+		Seed:    2016,
+	}
+}
+
+// WindowSweepRow is one window length's accuracy.
+type WindowSweepRow struct {
+	// WindowRecords is the epoch length (0 = single window).
+	WindowRecords int64
+	// Windows is how many windows the schedule closed.
+	Windows int64
+	// CarryAccuracy is the whole-run fraction of valid keys under
+	// carry-over boundaries (periodic flush, cumulative tables).
+	CarryAccuracy float64
+	// TumblingAccuracy is the key-weighted mean per-window accuracy under
+	// tumbling boundaries (each window an independent short query).
+	TumblingAccuracy float64
+	// Evictions counts capacity (not boundary-flush) evictions of the
+	// carry run.
+	Evictions uint64
+}
+
+// WindowSweepResult is the full sweep.
+type WindowSweepResult struct {
+	Config  WindowSweepConfig
+	Records int
+	Keys    int
+	Rows    []WindowSweepRow
+	Elapsed time.Duration
+}
+
+// windowSweepPlan compiles the TCP non-monotonic query.
+func windowSweepPlan() (*compiler.Plan, error) {
+	ex := queries.ByName("TCP non-monotonic")
+	chk, err := lang.Check(lang.MustParse(ex.Source))
+	if err != nil {
+		return nil, err
+	}
+	return compiler.Compile(chk)
+}
+
+// runWindowed replays recs through a fresh datapath under the given
+// schedule and returns the closed windows' accuracy sums plus the final
+// whole-run accuracy.
+func runWindowed(plan *compiler.Plan, recs []trace.Record, pairs int, winRecs int64, carry bool) (
+	windows int64, sumValid, sumTotal int, finalValid, finalTotal int, evictions uint64, err error) {
+	dp, err := switchsim.New(plan, switchsim.Config{Geometry: kvstore.SetAssociative(pairs, 8)})
+	if err != nil {
+		return 0, 0, 0, 0, 0, 0, err
+	}
+	if winRecs <= 0 {
+		winRecs = int64(len(recs)) + 1 // one window covers everything
+	}
+	spec := window.Spec{Count: winRecs, Carry: carry}
+	n, err := window.Stream(&trace.SliceSource{Records: recs}, spec, dp, func(res *window.Result) error {
+		// Sum across programs per window (finals keep the last window's
+		// cross-program sums, so both columns share one denominator).
+		fv, ft := 0, 0
+		for _, a := range res.Acc {
+			fv += a.Valid
+			ft += a.Total
+		}
+		sumValid += fv
+		sumTotal += ft
+		finalValid, finalTotal = fv, ft
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, 0, 0, 0, err
+	}
+	for _, s := range dp.Stats() {
+		evictions += s.Evictions
+	}
+	return n, sumValid, sumTotal, finalValid, finalTotal, evictions, nil
+}
+
+// RunWindowSweep simulates the trace once and sweeps the window length
+// under both boundary semantics.
+func RunWindowSweep(cfg WindowSweepConfig) (*WindowSweepResult, error) {
+	start := time.Now()
+	logf := func(format string, args ...interface{}) {
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+		}
+	}
+	tp, err := topo.ParseSpec(cfg.Spec, topo.Options{})
+	if err != nil {
+		return nil, err
+	}
+	recs, err := netsim.GenWorkload(tp, netsim.Workload{Seed: cfg.Seed, Flows: cfg.Flows})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := windowSweepPlan()
+	if err != nil {
+		return nil, err
+	}
+	logf("  trace: %s, %d flows -> %d records", cfg.Spec, cfg.Flows, len(recs))
+
+	res := &WindowSweepResult{Config: cfg, Records: len(recs)}
+	for _, w := range cfg.Windows {
+		row := WindowSweepRow{WindowRecords: w}
+		var fv, ft int
+		row.Windows, _, _, fv, ft, row.Evictions, err = runWindowed(plan, recs, cfg.Pairs, w, true)
+		if err != nil {
+			return nil, err
+		}
+		if ft > 0 {
+			row.CarryAccuracy = float64(fv) / float64(ft)
+		}
+		res.Keys = ft
+		var sv, st int
+		_, sv, st, _, _, _, err = runWindowed(plan, recs, cfg.Pairs, w, false)
+		if err != nil {
+			return nil, err
+		}
+		if st > 0 {
+			row.TumblingAccuracy = float64(sv) / float64(st)
+		}
+		logf("  window %7s: %4d windows, carry accuracy %5.1f%%, tumbling %5.1f%%",
+			windowLabel(w), row.Windows, 100*row.CarryAccuracy, 100*row.TumblingAccuracy)
+		res.Rows = append(res.Rows, row)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func windowLabel(w int64) string {
+	if w <= 0 {
+		return "all"
+	}
+	return fmt.Sprint(w)
+}
+
+// Format renders the sweep.
+func (r *WindowSweepResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Window sweep: TCP non-monotonic over %s (%d records, %d-pair 8-way cache)\n\n",
+		r.Config.Spec, r.Records, r.Config.Pairs)
+	fmt.Fprintf(w, "%10s %9s | %16s %18s %10s\n",
+		"window", "windows", "carry accuracy", "tumbling accuracy", "evictions")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10s %9d | %15.1f%% %17.1f%% %10d\n",
+			windowLabel(row.WindowRecords), row.Windows,
+			100*row.CarryAccuracy, 100*row.TumblingAccuracy, row.Evictions)
+	}
+	fmt.Fprintf(w, "\nshorter epochs flush SRAM more often: under carry-over every boundary a key\n"+
+		"survives appends one eviction epoch, so whole-run accuracy falls (top of the\n"+
+		"carry column); run as independent tumbling windows the same short epochs are\n"+
+		"short queries, and per-window accuracy rises — Figure 6's window knob, live.\n")
+	fmt.Fprintf(w, "elapsed: %v\n", r.Elapsed.Round(time.Millisecond))
+}

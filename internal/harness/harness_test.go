@@ -229,3 +229,42 @@ func TestNetScenario(t *testing.T) {
 		}
 	}
 }
+
+// TestWindowSweepKnob runs the window sweep at reduced scale and asserts
+// the two directions of the epoch-length trade: carry-over accuracy
+// non-increasing as windows shrink, tumbling per-window accuracy higher
+// at the shortest window than at run-to-completion.
+func TestWindowSweepKnob(t *testing.T) {
+	cfg := DefaultWindowSweep()
+	cfg.Flows = 800
+	cfg.Windows = []int64{500, 5000, 0}
+	res, err := RunWindowSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	short, mid, all := res.Rows[0], res.Rows[1], res.Rows[2]
+	if all.Windows != 1 || short.Windows <= mid.Windows {
+		t.Fatalf("window counts: %d/%d/%d", short.Windows, mid.Windows, all.Windows)
+	}
+	if !(short.CarryAccuracy <= mid.CarryAccuracy && mid.CarryAccuracy <= all.CarryAccuracy) {
+		t.Errorf("carry accuracy not monotone: %.3f %.3f %.3f",
+			short.CarryAccuracy, mid.CarryAccuracy, all.CarryAccuracy)
+	}
+	if short.TumblingAccuracy <= all.TumblingAccuracy {
+		t.Errorf("tumbling accuracy %.3f not above single-window %.3f",
+			short.TumblingAccuracy, all.TumblingAccuracy)
+	}
+	// At run-to-completion both semantics are the same single window.
+	if all.CarryAccuracy != all.TumblingAccuracy {
+		t.Errorf("single-window semantics diverge: %.4f vs %.4f",
+			all.CarryAccuracy, all.TumblingAccuracy)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "Window sweep") {
+		t.Error("report header missing")
+	}
+}

@@ -23,7 +23,6 @@ package shard
 
 import (
 	"io"
-	"sync"
 
 	"perfq/internal/packet"
 	"perfq/internal/trace"
@@ -153,18 +152,13 @@ func (r *Router) Route(rec *trace.Record, masks []uint64) {
 }
 
 // Pool routes records from a single feeder to per-shard worker
-// goroutines. Feed and Close must be called from one goroutine.
+// goroutines (a Workers transport fed through the Router). Feed,
+// Barrier and Close must be called from one goroutine.
 type Pool struct {
-	router *Router
-	batch  int
-
-	chans []chan []Item
-	pend  [][]Item
-	masks []uint64
-	fed   uint64
-
-	wg      sync.WaitGroup
-	recycle sync.Pool
+	router  *Router
+	workers *Workers[Item]
+	masks   []uint64
+	fed     uint64
 }
 
 // NewPool starts one worker goroutine per shard, each draining its batch
@@ -172,32 +166,12 @@ type Pool struct {
 func NewPool(cfg Config, process ProcessFunc) *Pool {
 	router := NewRouter(cfg)
 	n := router.Shards()
-	batch := cfg.Batch
-	if batch <= 0 {
-		batch = DefaultBatch
-	}
-	p := &Pool{
-		router: router,
-		batch:  batch,
-		chans:  make([]chan []Item, n),
-		pend:   make([][]Item, n),
-		masks:  make([]uint64, n),
-	}
-	p.recycle.New = func() any { return make([]Item, 0, batch) }
-	for s := 0; s < n; s++ {
-		ch := make(chan []Item, inflight)
-		p.chans[s] = ch
-		p.wg.Add(1)
-		go func(s int, ch chan []Item) {
-			defer p.wg.Done()
-			for items := range ch {
-				for i := range items {
-					process(s, &items[i].Rec, items[i].Mask)
-				}
-				p.recycle.Put(items[:0]) //nolint:staticcheck // slice header boxing is fine here
-			}
-		}(s, ch)
-	}
+	p := &Pool{router: router, masks: make([]uint64, n)}
+	p.workers = NewWorkers(n, cfg.Batch, func(s int, items []Item) {
+		for i := range items {
+			process(s, &items[i].Rec, items[i].Mask)
+		}
+	})
 	return p
 }
 
@@ -213,34 +187,22 @@ func (p *Pool) Feed(rec *trace.Record) {
 	p.fed++
 	p.router.Route(rec, p.masks)
 	for s, m := range p.masks {
-		if m == 0 {
-			continue
+		if m != 0 {
+			p.workers.Feed(s, Item{Rec: *rec, Mask: m})
 		}
-		b := p.pend[s]
-		if b == nil {
-			b = p.recycle.Get().([]Item)
-		}
-		b = append(b, Item{Rec: *rec, Mask: m})
-		if len(b) >= p.batch {
-			p.chans[s] <- b
-			b = nil
-		}
-		p.pend[s] = b
 	}
 }
 
+// Barrier flushes every pending batch and blocks until all records fed
+// so far have been processed by their workers. The pool stays usable —
+// this is the window-boundary synchronization of the epoch runtime:
+// every worker must have applied window k's records before the caller
+// flushes caches and materializes window k's tables.
+func (p *Pool) Barrier() { p.workers.Barrier() }
+
 // Close flushes every pending batch, closes the channels and waits for
 // all workers to drain. The pool must not be fed afterwards.
-func (p *Pool) Close() {
-	for s := range p.chans {
-		if len(p.pend[s]) > 0 {
-			p.chans[s] <- p.pend[s]
-			p.pend[s] = nil
-		}
-		close(p.chans[s])
-	}
-	p.wg.Wait()
-}
+func (p *Pool) Close() { p.workers.Close() }
 
 // Run streams an entire source through a fresh pool and waits for the
 // workers to finish. It returns the number of records fed.

@@ -203,3 +203,32 @@ func TestSingleShardDegenerate(t *testing.T) {
 	}
 	pool.Close()
 }
+
+// TestPoolBarrier covers the window-boundary synchronization: after
+// Barrier every record fed so far must have been processed, the pool
+// must remain usable for further feeding, and repeated barriers (with
+// and without intervening records, including empty ones back-to-back)
+// must not deadlock or double-count.
+func TestPoolBarrier(t *testing.T) {
+	var processed atomic.Uint64
+	pool := NewPool(Config{Shards: 4, Batch: 64, Keys: []KeyFunc{flowKey}},
+		func(s int, rec *trace.Record, mask uint64) { processed.Add(1) })
+	recs := routeTrace(5000)
+
+	fed := 0
+	for _, chunk := range []int{1700, 0, 1300, 2000} {
+		for i := fed; i < fed+chunk; i++ {
+			pool.Feed(&recs[i])
+		}
+		fed += chunk
+		pool.Barrier()
+		if got := processed.Load(); got != uint64(fed) {
+			t.Fatalf("after barrier at %d fed: processed %d", fed, got)
+		}
+	}
+	pool.Barrier() // idle barrier
+	pool.Close()
+	if processed.Load() != uint64(len(recs)) {
+		t.Fatalf("processed %d of %d", processed.Load(), len(recs))
+	}
+}

@@ -1,0 +1,102 @@
+package shard
+
+import "sync"
+
+// Workers moves batched items from a single feeder to one goroutine per
+// worker — the transport shared by the key-hash sharded Pool and the
+// fabric's switch-demux pump, which differ only in how they pick a
+// worker for an item. Feed, Barrier and Close must be called from one
+// goroutine.
+//
+// A nil batch is the barrier token: a worker acknowledges it in channel
+// order, so after Barrier every item fed so far has been processed —
+// the epoch-boundary alignment of the windowed runtime.
+type Workers[T any] struct {
+	batch int
+	chans []chan []T
+	pend  [][]T
+
+	wg      sync.WaitGroup
+	bar     sync.WaitGroup
+	recycle sync.Pool
+}
+
+// NewWorkers starts n worker goroutines, each draining its channel of
+// item batches through process (called with the worker's index).
+// batch <= 0 selects DefaultBatch; channel depth is `inflight` batches.
+func NewWorkers[T any](n, batch int, process func(worker int, items []T)) *Workers[T] {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	w := &Workers[T]{
+		batch: batch,
+		chans: make([]chan []T, n),
+		pend:  make([][]T, n),
+	}
+	w.recycle.New = func() any { return make([]T, 0, batch) }
+	for i := 0; i < n; i++ {
+		ch := make(chan []T, inflight)
+		w.chans[i] = ch
+		w.wg.Add(1)
+		go func(i int, ch chan []T) {
+			defer w.wg.Done()
+			for items := range ch {
+				if items == nil {
+					w.bar.Done()
+					continue
+				}
+				process(i, items)
+				w.recycle.Put(items[:0]) //nolint:staticcheck // slice header boxing is fine here
+			}
+		}(i, ch)
+	}
+	return w
+}
+
+// Feed appends item to worker's pending batch, sending it when full.
+func (w *Workers[T]) Feed(worker int, item T) {
+	b := w.pend[worker]
+	if b == nil {
+		b = w.recycle.Get().([]T)
+	}
+	b = append(b, item)
+	if len(b) >= w.batch {
+		w.chans[worker] <- b
+		b = nil
+	}
+	w.pend[worker] = b
+}
+
+// flush sends every pending partial batch.
+func (w *Workers[T]) flush() {
+	for i, ch := range w.chans {
+		if len(w.pend[i]) > 0 {
+			ch <- w.pend[i]
+			w.pend[i] = nil
+		}
+	}
+}
+
+// Barrier flushes pending batches and blocks until every item fed so
+// far has been processed. The workers stay usable.
+func (w *Workers[T]) Barrier() {
+	w.bar.Add(len(w.chans))
+	for i, ch := range w.chans {
+		if len(w.pend[i]) > 0 {
+			ch <- w.pend[i]
+			w.pend[i] = nil
+		}
+		ch <- nil // barrier token, acknowledged in channel order
+	}
+	w.bar.Wait()
+}
+
+// Close flushes, closes the channels and waits for the workers to
+// drain. The Workers must not be fed afterwards.
+func (w *Workers[T]) Close() {
+	w.flush()
+	for _, ch := range w.chans {
+		close(ch)
+	}
+	w.wg.Wait()
+}

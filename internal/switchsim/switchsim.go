@@ -96,6 +96,7 @@ type Datapath struct {
 	selStgs []*compiler.Stage // select-over-T stages, in plan order
 	routing shard.Config
 	router  *shard.Router // inline Process path's router (Run's pool owns its own)
+	pool    *shard.Pool   // persistent sharded feeder of the streaming/windowed path
 	packets uint64
 	masks   []uint64 // scratch per-shard masks for the inline Process path
 }
@@ -343,6 +344,123 @@ func (d *Datapath) Flush() {
 	}
 }
 
+// Feed processes a run of records without ending the window — the
+// streaming half of the epoch runtime. With Shards > 1 a persistent
+// worker pool is started lazily and records are hash-routed into it;
+// call Sync to barrier at a window boundary and EndFeed when the stream
+// ends. Feed copies records before returning, so callers may reuse recs.
+func (d *Datapath) Feed(recs []trace.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	d.packets += uint64(len(recs))
+	if len(d.shards) == 1 {
+		sh := d.shards[0]
+		for i := range recs {
+			sh.process(d, &recs[i], 0, true)
+		}
+		return
+	}
+	if d.pool == nil {
+		d.pool = shard.NewPool(d.routing, func(s int, rec *trace.Record, mask uint64) {
+			d.shards[s].process(d, rec, mask, false)
+		})
+	}
+	for i := range recs {
+		d.pool.Feed(&recs[i])
+	}
+}
+
+// Sync blocks until every record handed to Feed has been applied to its
+// shard's stores — the per-shard half of epoch-boundary alignment. A
+// no-op on the serial datapath, which applies records synchronously.
+func (d *Datapath) Sync() {
+	if d.pool != nil {
+		d.pool.Barrier()
+	}
+}
+
+// EndFeed stops the streaming worker pool (idempotent; a later Feed
+// restarts it). Outstanding records are drained first.
+func (d *Datapath) EndFeed() {
+	if d.pool != nil {
+		d.pool.Close()
+		d.pool = nil
+	}
+}
+
+// Acc is a per-program accuracy snapshot at a window close. Valid/Total
+// count every key since the store's last reset — the accuracy of the
+// window's materialized tables (whole-run, under carry-over boundaries).
+// WinValid/WinTotal count only the keys touched since the previous
+// boundary — the per-window stability metric of carry-over windows,
+// where a non-mergeable key that survives a boundary is window-invalid.
+// Under tumbling boundaries the two scopes coincide (the store is reset
+// at every close, so every key present was touched this window).
+type Acc struct {
+	Valid, Total       int
+	WinValid, WinTotal int
+}
+
+// CloseWindow ends the current measurement window: it syncs outstanding
+// fed records, flushes every cache into its backing store, materializes
+// every plan table (downstream collector stages included), snapshots
+// per-program accuracy, and then either resets every store for an
+// independent next window (carry == false, tumbling) or carries all
+// backing state across the boundary (carry == true — the paper's
+// periodic SRAM refresh, where linear folds keep merging exactly because
+// each new cache epoch snapshots its own first packet, and non-mergeable
+// folds accumulate one epoch per boundary crossing).
+func (d *Datapath) CloseWindow(carry bool) (map[string]*exec.Table, []Acc, error) {
+	d.Sync()
+	d.Flush()
+	tables, err := d.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	acc := make([]Acc, len(d.plan.Programs))
+	for i := range acc {
+		acc[i].Valid, acc[i].Total = d.Accuracy(i)
+		acc[i].WinValid, acc[i].WinTotal = d.WindowAccuracy(i)
+	}
+	if carry {
+		d.BeginWindow()
+	} else {
+		d.ResetWindow()
+	}
+	return tables, acc, nil
+}
+
+// BeginWindow restarts the window-scoped accuracy accounting of every
+// backing store without touching state — the carry-over boundary.
+func (d *Datapath) BeginWindow() {
+	for _, sh := range d.shards {
+		for _, ps := range sh.progs {
+			ps.store.BeginWindow()
+		}
+	}
+}
+
+// ResetWindow drops all per-window state — backing stores, digest-key
+// component values, mirrored select rows — so the next window starts
+// from a clean slate (caches must already be empty; call Flush first).
+// Rows previously materialized into tables stay valid: they were copied
+// (group stages) or their slab chunks stay reachable through the emitted
+// tables (select stages) until the caller drops them.
+func (d *Datapath) ResetWindow() {
+	for _, sh := range d.shards {
+		for _, ps := range sh.progs {
+			ps.store.Reset()
+			if ps.keyVals != nil {
+				clear(ps.keyVals)
+			}
+		}
+		for i := range sh.selRows {
+			sh.selRows[i] = sh.selRows[i][:0]
+		}
+	}
+}
+
 // Tables materializes every switch-resident stage's result from the
 // backing stores (call Flush first). Per-shard partial tables are
 // disjoint (each key is owned by exactly one shard), so the merge is a
@@ -567,6 +685,21 @@ func (d *Datapath) StoreStats() []backing.Stats {
 func (d *Datapath) Accuracy(i int) (valid, total int) {
 	for _, sh := range d.shards {
 		v, t := sh.progs[i].store.Accuracy()
+		valid += v
+		total += t
+	}
+	return valid, total
+}
+
+// WindowAccuracy returns (valid, total) counts over the keys program i's
+// backing stores were touched for since the last window boundary — the
+// per-window stability metric of carry-over windows: a key of a
+// non-mergeable fold that survives a boundary counts window-invalid even
+// though each of its per-epoch values is correct over its own interval.
+// Under tumbling windows this coincides with Accuracy.
+func (d *Datapath) WindowAccuracy(i int) (valid, total int) {
+	for _, sh := range d.shards {
+		v, t := sh.progs[i].store.WindowAccuracy()
 		valid += v
 		total += t
 	}

@@ -1,0 +1,101 @@
+package topo
+
+import (
+	"fmt"
+
+	"perfq/internal/trace"
+)
+
+// FatTree builds the canonical k-ary fat-tree (Al-Fares et al.): k pods,
+// each holding k/2 edge and k/2 aggregation switches, (k/2)² core
+// switches, and k/2 hosts per edge switch — k³/4 hosts total, with full
+// bisection bandwidth and (k/2)² equal-cost paths between hosts in
+// different pods. k must be even and ≥ 2.
+//
+// Aggregation switch j of every pod connects to core switches
+// [j·k/2, (j+1)·k/2) — the standard stripe wiring, which is what gives
+// inter-pod routes their core-level path diversity. Links are
+// bidirectional with an output queue at each end; queue IDs encode
+// (hardware switch ID, port) exactly like the other constructors, so the
+// fabric deploys one datapath per edge/agg/core switch (plus the
+// host-NIC pseudo switch 0) and ECMP spreads flows by their symmetric
+// five-tuple hash.
+func FatTree(k int, opt Options) *Topology {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: FatTree wants an even k >= 2, got %d", k))
+	}
+	opt.defaults()
+	t := &Topology{}
+	id := NodeID(0)
+	newNode := func(kind NodeKind, name string) NodeID {
+		t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Name: name})
+		id++
+		return id - 1
+	}
+
+	half := k / 2
+	swIndex := map[NodeID]uint16{} // switch -> hardware switch id
+	swCount := uint16(1)
+	addSwitch := func(name string) NodeID {
+		n := newNode(Switch, name)
+		swIndex[n] = swCount
+		swCount++
+		return n
+	}
+
+	cores := make([]NodeID, half*half)
+	for i := range cores {
+		cores[i] = addSwitch(fmt.Sprintf("core%d", i))
+	}
+	edges := make([][]NodeID, k) // [pod][j]
+	aggs := make([][]NodeID, k)
+	for p := 0; p < k; p++ {
+		edges[p] = make([]NodeID, half)
+		aggs[p] = make([]NodeID, half)
+		for j := 0; j < half; j++ {
+			edges[p][j] = addSwitch(fmt.Sprintf("p%dedge%d", p, j))
+			aggs[p][j] = addSwitch(fmt.Sprintf("p%dagg%d", p, j))
+		}
+	}
+
+	ports := map[NodeID]uint16{}
+	addLink := func(from, to NodeID, rate float64, buf int) {
+		var qid trace.QueueID
+		if sw, ok := swIndex[from]; ok {
+			qid = trace.MakeQueueID(sw, ports[from])
+		} else {
+			// Host NIC queues use switch id 0 with a per-host port.
+			qid = trace.MakeQueueID(0, uint16(from))
+		}
+		ports[from]++
+		t.Links = append(t.Links, Link{
+			From: from, To: to, QID: qid,
+			RateBps: rate, PropDelayNs: opt.PropDelayNs, BufBytes: buf,
+		})
+	}
+	biLink := func(a, b NodeID) {
+		addLink(a, b, opt.LinkRateBps, opt.BufBytes)
+		addLink(b, a, opt.LinkRateBps, opt.BufBytes)
+	}
+
+	for p := 0; p < k; p++ {
+		for j := 0; j < half; j++ {
+			edge := edges[p][j]
+			for h := 0; h < half; h++ {
+				host := newNode(Host, fmt.Sprintf("h%d_%d_%d", p, j, h))
+				addLink(host, edge, opt.HostRateBps, opt.HostBufBytes)
+				addLink(edge, host, opt.LinkRateBps, opt.BufBytes)
+			}
+			// Edge j meshes to every aggregation switch of its pod.
+			for a := 0; a < half; a++ {
+				biLink(edge, aggs[p][a])
+			}
+			// Aggregation j stripes to cores [j·k/2, (j+1)·k/2).
+			for c := 0; c < half; c++ {
+				biLink(aggs[p][j], cores[j*half+c])
+			}
+		}
+	}
+	t.build()
+	return t
+}

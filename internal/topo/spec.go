@@ -12,12 +12,13 @@ import (
 //
 //	chain:N           hostA — s1 — … — sN — hostB
 //	leafspine:LxSxH   L leaf switches, S spines, H hosts per leaf
+//	fattree:K         k-ary fat-tree (K even): K pods, (K/2)² cores, K³/4 hosts
 //
 // opt tunes link parameters exactly as the constructors do.
 func ParseSpec(spec string, opt Options) (*Topology, error) {
 	kind, arg, ok := strings.Cut(spec, ":")
 	if !ok {
-		return nil, fmt.Errorf("topo: spec %q: want kind:args (chain:N or leafspine:LxSxH)", spec)
+		return nil, fmt.Errorf("topo: spec %q: want kind:args (chain:N, leafspine:LxSxH or fattree:K)", spec)
 	}
 	switch kind {
 	case "chain":
@@ -40,7 +41,13 @@ func ParseSpec(spec string, opt Options) (*Topology, error) {
 			dims[i] = v
 		}
 		return LeafSpine(dims[0], dims[1], dims[2], opt), nil
+	case "fattree":
+		k, err := strconv.Atoi(arg)
+		if err != nil || k < 2 || k%2 != 0 {
+			return nil, fmt.Errorf("topo: spec %q: fattree wants an even k >= 2", spec)
+		}
+		return FatTree(k, opt), nil
 	default:
-		return nil, fmt.Errorf("topo: spec %q: unknown kind %q (chain, leafspine)", spec, kind)
+		return nil, fmt.Errorf("topo: spec %q: unknown kind %q (chain, leafspine, fattree)", spec, kind)
 	}
 }

@@ -236,3 +236,134 @@ func TestOptionsDefaults(t *testing.T) {
 		}
 	}
 }
+
+// TestFatTreeStructure pins the k-ary fat-tree's shape for k=4: 4 pods
+// of 2 edge + 2 agg switches, 4 cores, 16 hosts, full stripe wiring —
+// and distinct (switch, queue) IDs on every link, the property the
+// fabric's per-switch demux rests on.
+func TestFatTreeStructure(t *testing.T) {
+	tp := FatTree(4, Options{})
+	if got := len(tp.Hosts()); got != 16 {
+		t.Fatalf("hosts: %d, want k³/4 = 16", got)
+	}
+	switches := 0
+	for _, n := range tp.Nodes {
+		if n.Kind == Switch {
+			switches++
+		}
+	}
+	if switches != 20 {
+		t.Fatalf("switches: %d, want 4 cores + 4×(2 edge + 2 agg) = 20", switches)
+	}
+	// Hardware switch IDs: 20 real switches + the host-NIC pseudo ID 0.
+	ids := tp.SwitchIDs()
+	if len(ids) != 21 || ids[0] != 0 {
+		t.Fatalf("switch IDs: %d entries first=%d, want 21 starting at hostnic 0", len(ids), ids[0])
+	}
+	// Links: 16 host pairs ×2 + (edge↔agg) 4 pods ×2×2 ×2 + (agg↔core)
+	// 4 pods ×2×2 ×2 = 32 + 32 + 32.
+	if len(tp.Links) != 96 {
+		t.Fatalf("links: %d, want 96", len(tp.Links))
+	}
+	// Queue-ID encoding: distinct (From, QID), QID.Switch consistent per
+	// node, and queue indices dense per switch.
+	bySwitch := map[uint16]map[uint16]bool{}
+	swOf := map[NodeID]uint16{}
+	for _, l := range tp.Links {
+		sw := l.QID.Switch()
+		if prev, ok := swOf[l.From]; ok && prev != sw {
+			t.Fatalf("node %d emits queue IDs for switches %d and %d", l.From, prev, sw)
+		}
+		swOf[l.From] = sw
+		qs := bySwitch[sw]
+		if qs == nil {
+			qs = map[uint16]bool{}
+			bySwitch[sw] = qs
+		}
+		if qs[l.QID.Queue()] {
+			t.Fatalf("duplicate queue %d on switch %d", l.QID.Queue(), sw)
+		}
+		qs[l.QID.Queue()] = true
+	}
+	for sw, qs := range bySwitch {
+		if sw == 0 {
+			continue // host NICs use the host node ID as port
+		}
+		for q := 0; q < len(qs); q++ {
+			if !qs[uint16(q)] {
+				t.Fatalf("switch %d queue indices not dense: missing %d", sw, q)
+			}
+		}
+	}
+	// Names round-trip for reports.
+	if tp.SwitchName(0) != "hostnic" || tp.SwitchName(1) != "core0" {
+		t.Fatalf("names: %q %q", tp.SwitchName(0), tp.SwitchName(1))
+	}
+}
+
+// TestFatTreeECMP: inter-pod routes are 6 hops (NIC+edge+agg+core+agg+
+// edge), deterministic per flow, and spread across multiple cores;
+// intra-pod and same-edge routes take the short paths.
+func TestFatTreeECMP(t *testing.T) {
+	tp := FatTree(4, Options{})
+	hosts := tp.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1] // pod 0 → pod 3
+
+	coresSeen := map[NodeID]bool{}
+	for port := 0; port < 64; port++ {
+		ft := packet.FiveTuple{
+			Src: tp.HostAddr(src), Dst: tp.HostAddr(dst),
+			SrcPort: uint16(1000 + port), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+		p, err := tp.Route(src, dst, ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != 6 {
+			t.Fatalf("inter-pod path length %d, want 6", len(p))
+		}
+		// Same flow → identical path.
+		p2, err := tp.Route(src, dst, ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(p) != fmt.Sprint(p2) {
+			t.Fatal("ECMP route not deterministic per flow")
+		}
+		for _, li := range p {
+			to := tp.Links[li].To
+			if name := tp.Nodes[to].Name; len(name) > 4 && name[:4] == "core" {
+				coresSeen[to] = true
+			}
+		}
+	}
+	if len(coresSeen) < 2 {
+		t.Fatalf("64 flows used %d core switches; ECMP not spreading", len(coresSeen))
+	}
+
+	// Same-edge pair: host → edge → host.
+	ft := packet.FiveTuple{SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+	if p, err := tp.Route(hosts[0], hosts[1], ft); err != nil || len(p) != 2 {
+		t.Fatalf("same-edge path %v err %v, want 2 links", p, err)
+	}
+	// Same-pod, different edge: via one aggregation switch = 4 links.
+	if p, err := tp.Route(hosts[0], hosts[2], ft); err != nil || len(p) != 4 {
+		t.Fatalf("intra-pod path %v err %v, want 4 links", p, err)
+	}
+}
+
+// TestParseSpecFatTree covers the spec syntax and its error cases.
+func TestParseSpecFatTree(t *testing.T) {
+	tp, err := ParseSpec("fattree:4", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tp.Hosts()); got != 16 {
+		t.Fatalf("fattree:4 hosts = %d, want 16", got)
+	}
+	for _, bad := range []string{"fattree:3", "fattree:0", "fattree:x", "fattree:"} {
+		if _, err := ParseSpec(bad, Options{}); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package window
+
+import (
+	"perfq/internal/compiler"
+	"perfq/internal/exec"
+	"perfq/internal/fabric"
+	"perfq/internal/topo"
+	"perfq/internal/trace"
+)
+
+// GroundTruth replays the unbounded-memory reference under the spec's
+// window schedule: under tumbling semantics window k's tables come from
+// evaluating the plan over window k's record slice alone; under
+// carry-over from the prefix ending at window k. With a non-nil topology
+// the per-window evaluation is the fabric ground truth (per-switch
+// engines + the collector's merge modes); otherwise the single-engine
+// ground truth. Either way each window runs the exact evaluation path
+// the non-windowed equivalence suites already trust, so per-window
+// comparisons inherit their bit-exactness rules.
+func GroundTruth(plan *compiler.Plan, tp *topo.Topology, recs []trace.Record, spec Spec) ([]map[string]*exec.Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	bounds := spec.Slices(recs)
+	out := make([]map[string]*exec.Table, 0, len(bounds))
+	for _, b := range bounds {
+		slice := recs[b[0]:b[1]]
+		if spec.Carry {
+			slice = recs[:b[1]]
+		}
+		var (
+			tabs map[string]*exec.Table
+			err  error
+		)
+		if tp != nil {
+			tabs, err = fabric.GroundTruth(plan, tp, &trace.SliceSource{Records: slice})
+		} else {
+			tabs, err = exec.Run(plan, &trace.SliceSource{Records: slice})
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tabs)
+	}
+	return out, nil
+}

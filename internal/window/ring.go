@@ -1,0 +1,74 @@
+package window
+
+// Ring retains the last K values pushed — the bounded memory the
+// streaming runtime promises: a continuous query holds K windows of
+// results regardless of how long it runs, and older windows (already
+// emitted to the caller) are dropped oldest-first. The element type is
+// generic so the facade can ring its own enriched per-window results.
+type Ring[T any] struct {
+	k       int
+	buf     []T
+	next    int   // slot the next Push writes
+	n       int   // live results (≤ k)
+	pushed  int64 // total pushes ever
+	dropped int64
+}
+
+// DefaultKeep is the ring capacity used when the caller does not choose.
+const DefaultKeep = 16
+
+// NewRing builds a ring holding the last k values (k <= 0 selects
+// DefaultKeep). The buffer grows with use up to k, so a generous
+// capacity costs nothing until that many windows actually close.
+func NewRing[T any](k int) *Ring[T] {
+	if k <= 0 {
+		k = DefaultKeep
+	}
+	return &Ring[T]{k: k, buf: make([]T, 0, min(k, DefaultKeep))}
+}
+
+// Cap returns the ring capacity K.
+func (r *Ring[T]) Cap() int { return r.k }
+
+// Len returns how many values are currently retained.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Pushed returns how many values have ever been pushed.
+func (r *Ring[T]) Pushed() int64 { return r.pushed }
+
+// Dropped returns how many values have been evicted to stay within K.
+func (r *Ring[T]) Dropped() int64 { return r.dropped }
+
+// Push retains v, evicting the oldest retained value if the ring is
+// full. While the ring is still filling, next == len(buf), so the two
+// phases share the wrap arithmetic below.
+func (r *Ring[T]) Push(v T) {
+	if len(r.buf) < r.k {
+		r.buf = append(r.buf, v)
+		r.n++
+	} else {
+		r.buf[r.next] = v
+		r.dropped++
+	}
+	r.next = (r.next + 1) % r.k
+	r.pushed++
+}
+
+// Last returns the most recently pushed value; ok is false when the ring
+// is empty.
+func (r *Ring[T]) Last() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	return r.buf[(r.next-1+r.k)%r.k], true
+}
+
+// Results returns the retained values oldest-first.
+func (r *Ring[T]) Results() []T {
+	out := make([]T, 0, r.n)
+	start := (r.next - r.n + r.k) % r.k
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%r.k])
+	}
+	return out
+}

@@ -39,6 +39,7 @@ import (
 	"perfq/internal/topo"
 	"perfq/internal/trace"
 	"perfq/internal/tracegen"
+	"perfq/internal/window"
 )
 
 // Record is one packet observation at one queue — the row type of the
@@ -139,10 +140,12 @@ func (q *Query) Describe(w io.Writer) {
 }
 
 // runConfig collects everything the run options configure: the (per-
-// switch) datapath template, and the topology of a fabric deployment.
+// switch) datapath template, the topology of a fabric deployment, and
+// the window schedule of a continuous run.
 type runConfig struct {
 	sw   switchsim.Config
 	topo *topo.Topology
+	win  *WindowSpec
 }
 
 // RunOption configures Run.
@@ -204,6 +207,37 @@ func WithShards(n int) RunOption {
 	return func(c *runConfig) { c.sw.Shards = n }
 }
 
+// WindowSpec configures the continuous windowed runtime (WithWindow):
+// the record stream is sliced into measurement windows, every datapath
+// flushes + materializes at each boundary, and results are delivered per
+// window. Exactly one of Count/Interval must be positive.
+type WindowSpec struct {
+	// Count > 0 closes a window after every Count records.
+	Count int64
+	// Interval > 0 closes windows at virtual-time boundaries of the
+	// record stream (Record.Tin), anchored at the first record.
+	Interval time.Duration
+	// Carry keeps backing-store state across boundaries, making windows
+	// cumulative (the paper's periodic SRAM refresh: linear folds stay
+	// exact, non-mergeable folds lose one epoch of accuracy per boundary
+	// a key survives). The default is tumbling: every store resets, so
+	// each window is an independent run over its own record slice.
+	Carry bool
+	// Keep bounds the ring of retained WindowResults on the Results of a
+	// Run / Stream (<= 0 selects 16). Emitted callbacks see every window
+	// regardless.
+	Keep int
+}
+
+// WithWindow runs the query as a continuous stream of measurement
+// windows instead of one run-to-completion epoch. With Run, the last K
+// window results are retained (Results.Windows); Stream additionally
+// delivers every window to a callback as it closes, with memory bounded
+// by the ring regardless of stream length.
+func WithWindow(spec WindowSpec) RunOption {
+	return func(c *runConfig) { c.win = &spec }
+}
+
 // Run executes the query on the full co-designed datapath: switch-stage
 // aggregations run through the cache + backing-store pipeline, downstream
 // stages on the collector. It returns every stage's table.
@@ -211,6 +245,9 @@ func (q *Query) Run(src Source, opts ...RunOption) (*Results, error) {
 	var cfg runConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.win != nil {
+		return q.stream(src, &cfg, nil)
 	}
 	if cfg.topo != nil {
 		return q.runFabric(src, &cfg)
@@ -231,11 +268,26 @@ func (q *Query) Run(src Source, opts ...RunOption) (*Results, error) {
 	for _, s := range stats {
 		evictions += s.Evictions
 	}
-	valid, total := 1, 1
-	if len(q.plan.Programs) > 0 {
-		valid, total = dp.Accuracy(0)
+	r := &Results{tables: tables, q: q, Evictions: evictions}
+	r.setAccuracy(dp.Accuracy)
+	return r, nil
+}
+
+// setAccuracy fills the per-program accuracy list from a per-program
+// (valid, total) reader and its summed ValidKeys/TotalKeys headline.
+// Plans with no switch program report 1/1 (nothing can be invalid).
+func (r *Results) setAccuracy(read func(i int) (valid, total int)) {
+	n := len(r.q.plan.Programs)
+	if n == 0 {
+		r.ValidKeys, r.TotalKeys = 1, 1
+		return
 	}
-	return &Results{tables: tables, q: q, Evictions: evictions, ValidKeys: valid, TotalKeys: total}, nil
+	r.accs = make([]switchsim.Acc, n)
+	for i := range r.accs {
+		r.accs[i].Valid, r.accs[i].Total = read(i)
+		r.ValidKeys += r.accs[i].Valid
+		r.TotalKeys += r.accs[i].Total
+	}
 }
 
 // runFabric executes the query across a whole topology (WithFabric).
@@ -255,14 +307,182 @@ func (q *Query) runFabric(src Source, cfg *runConfig) (*Results, error) {
 	for _, s := range fab.Stats() {
 		evictions += s.Evictions
 	}
-	valid, total := 1, 1
-	if len(q.plan.Programs) > 0 {
-		valid, total = fab.Accuracy(0)
+	r := &Results{tables: tables, q: q, fab: fab, Evictions: evictions}
+	r.setAccuracy(fab.Accuracy)
+	return r, nil
+}
+
+// WindowResult is one closed measurement window of a windowed run: its
+// tables, the records it covered, and its accuracy.
+type WindowResult struct {
+	// Index is the window's position in the schedule, from 0.
+	Index int64
+	// Records is how many records the window received (0 for the empty
+	// windows a virtual-time gap produces).
+	Records int64
+	// Start/End bound the window in virtual trace time (Interval
+	// schedules only; zero for count-based windows).
+	Start, End time.Duration
+	// Evictions counts capacity evictions during this window.
+	Evictions uint64
+	// ValidKeys/TotalKeys sum backing-store accuracy over every switch
+	// store at the window close — the accuracy of this window's tables
+	// (whole-run, under Carry, since carry-over tables are cumulative).
+	ValidKeys, TotalKeys int
+	// WindowValidKeys/WindowTotalKeys count only the keys touched since
+	// the previous boundary — the per-window stability metric of
+	// carry-over windows (a non-mergeable key that survives a boundary
+	// counts window-invalid). Identical to ValidKeys/TotalKeys under
+	// tumbling windows.
+	WindowValidKeys, WindowTotalKeys int
+
+	q      *Query
+	tables map[string]*exec.Table
+	accs   []switchsim.Acc
+}
+
+// Table returns a stage's table for this window by name (nil if absent).
+func (w *WindowResult) Table(name string) *Table {
+	t, ok := w.tables[name]
+	if !ok {
+		return nil
 	}
-	return &Results{
-		tables: tables, q: q, fab: fab,
-		Evictions: evictions, ValidKeys: valid, TotalKeys: total,
-	}, nil
+	return &Table{Schema: t.Schema, Rows: t.Rows}
+}
+
+// Result returns the window's primary result (the query's last DAG sink).
+func (w *WindowResult) Result() *Table {
+	names := w.q.Results()
+	if len(names) == 0 {
+		return nil
+	}
+	return w.Table(names[len(names)-1])
+}
+
+// Accuracy returns program i's (valid, total) key counts for this
+// window's tables (whole-run, under Carry).
+func (w *WindowResult) Accuracy(i int) (valid, total int) {
+	if i < 0 || i >= len(w.accs) {
+		return 1, 1
+	}
+	return w.accs[i].Valid, w.accs[i].Total
+}
+
+// WindowAccuracy returns program i's (valid, total) counts over only the
+// keys touched since the previous boundary — see WindowValidKeys.
+func (w *WindowResult) WindowAccuracy(i int) (valid, total int) {
+	if i < 0 || i >= len(w.accs) {
+		return 1, 1
+	}
+	return w.accs[i].WinValid, w.accs[i].WinTotal
+}
+
+// Stream runs the query as a continuous windowed stream, invoking emit
+// for every window as it closes — the deployment mode of a live
+// measurement system: results arrive while the stream is still running,
+// and memory stays bounded by the cache geometry, the backing stores'
+// per-window key sets (tumbling), and the ring of Keep retained windows.
+// WithWindow is required; WithCache, WithShards and WithFabric compose
+// as with Run. An emit error aborts the stream and is returned. The
+// returned Results carries the retained ring (Windows), the final
+// window's tables, and whole-run totals.
+func (q *Query) Stream(src Source, emit func(*WindowResult) error, opts ...RunOption) (*Results, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.win == nil {
+		return nil, fmt.Errorf("perfq: Stream requires the WithWindow option")
+	}
+	return q.stream(src, &cfg, emit)
+}
+
+// stream is the windowed runtime behind Run(WithWindow) and Stream.
+func (q *Query) stream(src Source, cfg *runConfig, emit func(*WindowResult) error) (*Results, error) {
+	spec := window.Spec{
+		Count:      cfg.win.Count,
+		IntervalNs: cfg.win.Interval.Nanoseconds(),
+		Carry:      cfg.win.Carry,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		runner window.Runner
+		stats  func() []kvstore.Stats
+		fab    *fabric.Fabric
+	)
+	if cfg.topo != nil {
+		f, err := fabric.New(q.plan, cfg.topo, fabric.Config{Switch: cfg.sw})
+		if err != nil {
+			return nil, err
+		}
+		runner, stats, fab = f, f.Stats, f
+	} else {
+		dp, err := switchsim.New(q.plan, cfg.sw)
+		if err != nil {
+			return nil, err
+		}
+		runner, stats = dp, dp.Stats
+	}
+	evictions := func() uint64 {
+		var n uint64
+		for _, s := range stats() {
+			n += s.Evictions
+		}
+		return n
+	}
+
+	res := &Results{q: q, fab: fab, windows: window.NewRing[*WindowResult](cfg.win.Keep)}
+	var prevEv uint64
+	_, err := window.Stream(src, spec, runner, func(wr *window.Result) error {
+		ev := evictions()
+		out := &WindowResult{
+			Index:     wr.Index,
+			Records:   wr.Records,
+			Start:     time.Duration(wr.StartNs),
+			End:       time.Duration(wr.EndNs),
+			Evictions: ev - prevEv,
+			q:         q,
+			tables:    wr.Tables,
+			accs:      wr.Acc,
+		}
+		prevEv = ev
+		for _, a := range wr.Acc {
+			out.ValidKeys += a.Valid
+			out.TotalKeys += a.Total
+			out.WindowValidKeys += a.WinValid
+			out.WindowTotalKeys += a.WinTotal
+		}
+		if len(wr.Acc) == 0 {
+			out.ValidKeys, out.TotalKeys = 1, 1
+			out.WindowValidKeys, out.WindowTotalKeys = 1, 1
+		}
+		res.windows.Push(out)
+		res.windowCount++
+		if emit != nil {
+			return emit(out)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Evictions = evictions()
+	if last, ok := res.windows.Last(); ok {
+		res.tables = last.tables
+		res.ValidKeys, res.TotalKeys = last.ValidKeys, last.TotalKeys
+		res.accs = last.accs
+	} else {
+		// Zero windows closed (empty source). Keep Run's contract: every
+		// declared stage materializes, as an empty table.
+		res.tables = make(map[string]*exec.Table, len(q.plan.Stages))
+		for _, st := range q.plan.Stages {
+			res.tables[st.Name] = &exec.Table{Schema: st.Schema}
+		}
+		res.ValidKeys, res.TotalKeys = 1, 1
+	}
+	return res, nil
 }
 
 // GroundTruth executes the query with unbounded memory (no cache, no
@@ -299,12 +519,69 @@ type Results struct {
 	fab        *fabric.Fabric
 	switchTabs map[uint16]map[string]*exec.Table
 
+	// accs is the per-program (valid, total) accuracy (see Accuracy).
+	accs []switchsim.Acc
+
+	// windows is the bounded ring of a windowed run (WithWindow), and
+	// windowCount the total number of windows closed (≥ ring length).
+	windows     *window.Ring[*WindowResult]
+	windowCount int64
+
 	// Evictions counts capacity evictions across all switch stores.
 	Evictions uint64
-	// ValidKeys/TotalKeys report backing-store accuracy for the first
-	// switch store (1/1 for ground truth or mergeable folds). Fabric
-	// runs report the network-wide spatial accuracy instead.
+	// ValidKeys/TotalKeys report backing-store accuracy summed over every
+	// switch store (1/1 for ground truth, or plans with no switch
+	// program; always valid == total for mergeable folds). Fabric runs
+	// report the network-wide spatial accuracy instead. Per-program
+	// counts are available through Accuracy.
 	ValidKeys, TotalKeys int
+}
+
+// Accuracy returns program i's (valid, total) backing-store key counts —
+// Figure 6's metric, per physical switch store rather than summed. Ground
+// truth results (and out-of-range programs) report 1/1.
+func (r *Results) Accuracy(i int) (valid, total int) {
+	if i < 0 || i >= len(r.accs) {
+		return 1, 1
+	}
+	return r.accs[i].Valid, r.accs[i].Total
+}
+
+// Programs returns how many physical switch stores the plan compiled to
+// (the index domain of Accuracy).
+func (r *Results) Programs() int { return len(r.q.plan.Programs) }
+
+// Unrouted returns how many records of a fabric run carried a switch ID
+// absent from the topology (skipped as a trace/topology mismatch); zero
+// for single-datapath runs.
+func (r *Results) Unrouted() uint64 {
+	if r.fab == nil {
+		return 0
+	}
+	return r.fab.Unrouted()
+}
+
+// Windows returns the retained per-window results of a windowed run
+// (WithWindow), oldest first — at most WindowSpec.Keep of them; nil
+// otherwise.
+func (r *Results) Windows() []*WindowResult {
+	if r.windows == nil {
+		return nil
+	}
+	return r.windows.Results()
+}
+
+// WindowCount returns how many windows a windowed run closed in total
+// (including windows the ring has since dropped).
+func (r *Results) WindowCount() int64 { return r.windowCount }
+
+// WindowsDropped returns how many closed windows fell out of the
+// bounded ring.
+func (r *Results) WindowsDropped() int64 {
+	if r.windows == nil {
+		return 0
+	}
+	return r.windows.Dropped()
 }
 
 // Switches lists the hardware switch IDs of a fabric run (WithFabric) in

@@ -112,3 +112,49 @@ func TestResultsTableLookup(t *testing.T) {
 		t.Error("qid count table empty")
 	}
 }
+
+// TestValidKeysPerProgram is the regression for the known debt where
+// Results.ValidKeys reported program 0 only: a two-program plan whose
+// FIRST store is linear (always fully valid) and whose SECOND is
+// non-linear under churn must report the invalid keys of program 1 in
+// the summed headline and through the per-program accessor.
+func TestValidKeysPerProgram(t *testing.T) {
+	q := MustCompile(`
+R1 = SELECT COUNT GROUPBY srcip
+def nonmt((maxseq, nm_count), tcpseq):
+    if maxseq > tcpseq:
+        nm_count = nm_count + 1
+    maxseq = max(maxseq, tcpseq)
+R2 = SELECT 5tuple, nonmt GROUPBY 5tuple WHERE proto == 6
+`)
+	if got := len(q.plan.Programs); got != 2 {
+		t.Fatalf("plan has %d programs, want 2 (keys must not fuse)", got)
+	}
+	res, err := q.Run(DCTrace(9, 2*time.Second), WithCache(128, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Programs() != 2 {
+		t.Fatalf("Programs() = %d", res.Programs())
+	}
+	v0, t0 := res.Accuracy(0)
+	v1, t1 := res.Accuracy(1)
+	if v0 != t0 || t0 == 0 {
+		t.Errorf("linear program 0 accuracy %d/%d, want fully valid", v0, t0)
+	}
+	if v1 >= t1 {
+		t.Errorf("non-linear program 1 accuracy %d/%d, want invalid keys under churn", v1, t1)
+	}
+	if res.ValidKeys != v0+v1 || res.TotalKeys != t0+t1 {
+		t.Errorf("headline %d/%d is not the per-program sum (%d+%d)/(%d+%d)",
+			res.ValidKeys, res.TotalKeys, v0, v1, t0, t1)
+	}
+	// The old behavior — program 0 only — would have reported all-valid.
+	if res.ValidKeys == res.TotalKeys {
+		t.Error("summed ValidKeys hides program 1's invalid keys")
+	}
+	// Out-of-range probes stay benign.
+	if v, tot := res.Accuracy(99); v != 1 || tot != 1 {
+		t.Errorf("Accuracy(99) = %d/%d, want 1/1", v, tot)
+	}
+}
