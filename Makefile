@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json profile vet figures clean
+.PHONY: all build test race bench bench-json bench-check bench-compare profile vet figures clean
 
 all: build test
 
@@ -17,27 +17,43 @@ test: build
 # The sharded datapath's, the fabric's and the windowed runtime's
 # concurrency contracts under the race detector (the fabric equivalence
 # suite runs one worker goroutine per switch; the windowed suite
-# barriers shard pools and the fabric pump at every epoch boundary).
+# barriers shard pools and the fabric pump at every epoch boundary; the
+# Workers tests drive the SPSC ring transport directly, wrap-around and
+# sentinel slots included). The suites force GOMAXPROCS >= 4 internally
+# so the parallel paths run even on a single-core host.
 race:
-	$(GO) test -race -run 'TestSharded|TestWithShards|TestPool|TestFabric|TestWindowed' ./...
+	$(GO) test -race -run 'TestSharded|TestWithShards|TestPool|TestWorkers|TestFabric|TestWindowed' ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
 
 # Record the perf trajectory: the sharded-datapath scaling series
-# (pkts/s, allocs/op at shards 1/2/4/8), the network-wide fabric replay
-# (pkts/s, serial vs worker-per-switch), the windowed-runtime boundary
-# overhead (pkts/s at window sizes 1k/10k/100k vs single-window) and the
-# fold-eval microbench, written as JSON for the repo's BENCH_*.json
-# history. pipefail so a failing benchmark can't silently record a
-# partial file.
+# (pkts/s, allocs/op at shards 1/2/4/8, each at GOMAXPROCS =
+# min(shards, NumCPU)), the network-wide fabric replay (pkts/s, serial
+# vs worker-per-switch), the windowed-runtime boundary overhead (pkts/s
+# at window sizes 1k/10k/100k vs single-window), the transport batch
+# sweep and the fold-eval microbench, written as JSON for the repo's
+# BENCH_*.json history. pipefail so a failing benchmark can't silently
+# record a partial file; the recorded file is then procs-checked.
 bench-json: SHELL := /bin/bash
 bench-json:
 	set -o pipefail; \
 	{ $(GO) test -bench 'BenchmarkShardedDatapath|BenchmarkFabricDatapath|BenchmarkWindowedDatapath' -benchtime 2s -benchmem -run XXX . && \
+	  $(GO) test -bench 'BenchmarkWorkersTransport' -benchtime 1s -benchmem -run XXX ./internal/shard && \
 	  $(GO) test -bench 'BenchmarkFoldEval' -benchtime 1s -benchmem -run XXX ./internal/fold ; } \
-	| $(GO) run ./cmd/benchjson -out BENCH_5.json
-	@cat BENCH_5.json
+	| $(GO) run ./cmd/benchjson -out BENCH_6.json
+	$(GO) run ./cmd/benchjson -check BENCH_6.json
+	@cat BENCH_6.json
+
+# Guard the recorded trajectory: fail if any multi-shard entry of the
+# newest recording claims procs: 1 on a multi-CPU host (the harness bug
+# that made the BENCH_3..5 scaling series fiction). CI runs this.
+bench-check:
+	$(GO) run ./cmd/benchjson -check BENCH_6.json
+
+# Benchstat-style diff of the newest recording against the previous one.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_5.json BENCH_6.json
 
 # Hot-path diagnosis: run the reference EWMA query over a DC trace with
 # CPU and heap profiles; inspect with `go tool pprof cpu.prof`.

@@ -123,12 +123,30 @@ func BenchmarkFig2Queries(b *testing.B) {
 	}
 }
 
+// withProcs pins GOMAXPROCS to min(want, NumCPU) for one sub-benchmark
+// and restores it afterwards. Every multi-worker benchmark must call
+// this: `go test` defaults GOMAXPROCS to whatever the process inherited,
+// and the recorded BENCH_3..5.json series was silently measured at
+// procs=1 — parallel overhead without parallel hardware. The real value
+// lands in the JSON via the procs metric; benchjson records NumCPU
+// alongside so a reader (and the CI procs check) can tell "host could
+// not go wider" from "harness forgot to ask".
+func withProcs(b *testing.B, want int) {
+	n := min(want, runtime.NumCPU())
+	if n < 1 {
+		n = 1
+	}
+	prev := runtime.GOMAXPROCS(n)
+	b.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
 // BenchmarkShardedDatapath replays one trace through the full datapath at
 // shards ∈ {1, 2, 4, 8} and reports packets/sec — the scaling headline of
 // the sharded architecture. The configured cache is the same TOTAL
 // operating point at every shard count (WithShards splits it), so the
-// series isolates parallelism, not extra SRAM. Scaling tops out at
-// GOMAXPROCS (printed as the procs metric); on a single-core host all
+// series isolates parallelism, not extra SRAM. Each sub-benchmark runs
+// at GOMAXPROCS = min(shards, NumCPU) (printed as the procs metric); on
+// a single-core host the sharded runtime takes its inline bypass, so
 // shard counts collapse to roughly the serial rate plus routing overhead.
 func BenchmarkShardedDatapath(b *testing.B) {
 	cfg := tracegen.DCConfig(12, 4*time.Second)
@@ -140,6 +158,7 @@ func BenchmarkShardedDatapath(b *testing.B) {
 	q := MustCompile(queries.ByName("Latency EWMA").Source)
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			withProcs(b, shards)
 			b.ReportAllocs()
 			done := 0
 			b.ResetTimer()
@@ -200,7 +219,10 @@ func BenchmarkWindowedDatapath(b *testing.B) {
 // BenchmarkFabricDatapath replays a leaf-spine fabric trace through the
 // network-wide deployment — one datapath per switch fed by the
 // demultiplexing feeder, then collector reconciliation — serial vs one
-// worker per switch. pkts/s counts records of the merged stream.
+// worker per switch (the parallel sub-benchmark runs at GOMAXPROCS =
+// min(switches, NumCPU); with only one processor it degenerates to the
+// serial fast path, and the procs metric says so). pkts/s counts
+// records of the merged stream.
 func BenchmarkFabricDatapath(b *testing.B) {
 	tp := topo.LeafSpine(4, 2, 8, topo.Options{})
 	recs, err := netsim.GenWorkload(tp, netsim.Workload{Seed: 12, Flows: 1200})
@@ -214,6 +236,11 @@ func BenchmarkFabricDatapath(b *testing.B) {
 			name = "serial"
 		}
 		b.Run(name, func(b *testing.B) {
+			if serial {
+				withProcs(b, 1)
+			} else {
+				withProcs(b, len(tp.SwitchIDs()))
+			}
 			b.ReportAllocs()
 			done := 0
 			b.ResetTimer()

@@ -1,11 +1,27 @@
 // benchjson converts `go test -bench` output on stdin into a JSON
 // document for the repo's recorded benchmark trajectory (BENCH_*.json):
 //
-//	go test -bench BenchmarkShardedDatapath -benchmem . | benchjson -out BENCH_3.json
+//	go test -bench BenchmarkShardedDatapath -benchmem . | benchjson -out BENCH_6.json
 //
 // Each benchmark line becomes one entry with the standard ns/op, B/op
 // and allocs/op columns plus any custom ReportMetric columns (pkts/s,
-// evict%, …) keyed by metric name.
+// evict%, …) keyed by metric name. The document records NumCPU so a
+// reader can tell a host that could not run wider from a harness that
+// never asked.
+//
+// Two more modes operate on recorded files:
+//
+//	benchjson -check BENCH_6.json
+//
+// fails (exit 1) if any multi-worker entry (shards-N with N > 1, or the
+// fabric's parallel sub-benchmark) was recorded at procs: 1 on a host
+// with more than one CPU — the harness bug that silently pinned
+// BENCH_3..5.json to one processor must never recur.
+//
+//	benchjson -compare BENCH_5.json BENCH_6.json
+//
+// prints a benchstat-style table of the benchmarks the two files share:
+// old/new ns/op with delta, plus deltas for shared throughput metrics.
 package main
 
 import (
@@ -14,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,12 +49,34 @@ type Entry struct {
 type Doc struct {
 	Go      string  `json:"go"`
 	CPU     string  `json:"cpu,omitempty"`
+	CPUs    int     `json:"cpus,omitempty"`
 	Entries []Entry `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	check := flag.String("check", "", "validate a recorded file's procs metrics and exit")
+	compare := flag.Bool("compare", false, "compare two recorded files: benchjson -compare OLD NEW")
 	flag.Parse()
+
+	switch {
+	case *check != "":
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case *compare:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: OLD NEW")
+			os.Exit(2)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc := Doc{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -81,6 +121,7 @@ func main() {
 		os.Exit(1)
 	}
 	doc.Go = runtime.Version()
+	doc.CPUs = runtime.NumCPU()
 
 	buf, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
@@ -96,4 +137,140 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func readDoc(path string) (*Doc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// normName strips the -GOMAXPROCS suffix the testing package appends to
+// benchmark names when GOMAXPROCS != 1, using the entry's own procs
+// metric to avoid mangling names with legitimate numeric suffixes
+// (window-1000).
+func normName(e Entry) string {
+	if p, ok := e.Metrics["procs"]; ok && p > 1 {
+		if suf := fmt.Sprintf("-%.0f", p); strings.HasSuffix(e.Name, suf) {
+			return strings.TrimSuffix(e.Name, suf)
+		}
+	}
+	return e.Name
+}
+
+// shardsRe extracts the worker count of a sharded sub-benchmark name.
+var shardsRe = regexp.MustCompile(`/shards-(\d+)$`)
+
+// workersOf returns how many workers a recorded entry was meant to use
+// (0 when the entry has no parallel interpretation). The fabric's
+// parallel sub-benchmark is reported as 2 workers — any value > 1 means
+// "this measurement claims to exercise parallelism".
+func workersOf(name string) int {
+	if m := shardsRe.FindStringSubmatch(name); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		return n
+	}
+	if strings.HasSuffix(name, "/parallel") {
+		return 2
+	}
+	return 0
+}
+
+// checkFile enforces the recorded-procs invariant: a multi-worker entry
+// measured at procs: 1 on a multi-CPU host means the harness failed to
+// raise GOMAXPROCS — the bug that made BENCH_3..5.json's "scaling"
+// series fiction. Files without a cpus field (recorded before the field
+// existed) and single-CPU hosts pass vacuously, with a note.
+func checkFile(path string) error {
+	doc, err := readDoc(path)
+	if err != nil {
+		return err
+	}
+	if doc.CPUs == 0 {
+		fmt.Printf("%s: no cpus field (pre-procs-check recording); nothing to verify\n", path)
+		return nil
+	}
+	if doc.CPUs == 1 {
+		fmt.Printf("%s: single-CPU host; procs: 1 is the honest maximum everywhere\n", path)
+		return nil
+	}
+	var bad []string
+	for _, e := range doc.Entries {
+		w := workersOf(normName(e))
+		if w <= 1 {
+			continue
+		}
+		procs, ok := e.Metrics["procs"]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: multi-worker entry records no procs metric", e.Name))
+			continue
+		}
+		want := float64(min(w, doc.CPUs))
+		if procs < want {
+			bad = append(bad, fmt.Sprintf("%s: procs %.0f < min(workers %d, cpus %d)", e.Name, procs, w, doc.CPUs))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%s:\n  %s", path, strings.Join(bad, "\n  "))
+	}
+	fmt.Printf("%s: procs honest on all %d entries (cpus %d)\n", path, len(doc.Entries), doc.CPUs)
+	return nil
+}
+
+// compareFiles prints a benchstat-style old-vs-new table of the shared
+// benchmarks: ns/op with delta, then every shared custom metric.
+func compareFiles(oldPath, newPath string) error {
+	od, err := readDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	nd, err := readDoc(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Entry{}
+	for _, e := range od.Entries {
+		oldBy[normName(e)] = e
+	}
+	fmt.Printf("old: %s (%s, %d cpus)\nnew: %s (%s, %d cpus)\n\n",
+		oldPath, od.CPU, od.CPUs, newPath, nd.CPU, nd.CPUs)
+	fmt.Printf("%-48s %12s %12s %8s\n", "benchmark [metric]", "old", "new", "delta")
+	shared := 0
+	for _, e := range nd.Entries {
+		name := normName(e)
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-48s %12s %12.4g %8s\n", name+" [ns/op]", "—", e.NsPerOp, "new")
+			continue
+		}
+		shared++
+		fmt.Printf("%-48s %12.4g %12.4g %8s\n", name+" [ns/op]", o.NsPerOp, e.NsPerOp, delta(o.NsPerOp, e.NsPerOp))
+		keys := make([]string, 0, len(e.Metrics))
+		for k := range e.Metrics {
+			if _, ok := o.Metrics[k]; ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-48s %12.4g %12.4g %8s\n", name+" ["+k+"]", o.Metrics[k], e.Metrics[k], delta(o.Metrics[k], e.Metrics[k]))
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	return nil
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
 }

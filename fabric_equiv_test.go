@@ -93,6 +93,7 @@ func TestFabricClassification(t *testing.T) {
 // pure fold state either way, and both sides reconcile in the same
 // switch order with the same float associativity).
 func TestFabricZeroChurnBitIdentical(t *testing.T) {
+	forceProcs(t)
 	tp := equivFabric()
 	recs := fabricTrace(t, tp, 300)
 	for _, ex := range queries.Fig2 {
@@ -127,6 +128,7 @@ func TestFabricZeroChurnBitIdentical(t *testing.T) {
 // truth — partitioning the stream across switches (and splitting the
 // cache budget among them) is invisible in the output.
 func TestFabricNetworkExactMatchesGlobal(t *testing.T) {
+	forceProcs(t)
 	tp := equivFabric()
 	recs := fabricTrace(t, tp, 300)
 	ran := 0
@@ -169,6 +171,7 @@ func TestFabricNetworkExactMatchesGlobal(t *testing.T) {
 // key must carry the exact ground-truth value (a single epoch is a pure
 // fold state).
 func TestFabricChurnEquivalence(t *testing.T) {
+	forceProcs(t)
 	tp := equivFabric()
 	recs := fabricTrace(t, tp, 600)
 	for _, ex := range queries.Fig2 {
@@ -242,6 +245,7 @@ func requireRowsSubsetByKey(t *testing.T, name string, got, want *Table, nk int,
 // so even a heavily churned fabric run must match the global ground
 // truth bit-for-bit.
 func TestFabricAssocMerge(t *testing.T) {
+	forceProcs(t)
 	tp := equivFabric()
 	recs := fabricTrace(t, tp, 600)
 	// Two associative folds in one stage: the state vector combines
@@ -271,6 +275,7 @@ func TestFabricAssocMerge(t *testing.T) {
 // and, being a union-mode query, must match the global ground truth
 // bit-for-bit even though the trace is full of drops.
 func TestFabricLossLocalization(t *testing.T) {
+	forceProcs(t)
 	tp := topo.LeafSpine(4, 2, 8, topo.Options{BufBytes: 64 << 10})
 	recs, err := netsim.GenWorkload(tp, netsim.Workload{
 		Seed: 42, Flows: 60, IncastSenders: 16,
@@ -352,6 +357,7 @@ func TestFabricLossLocalization(t *testing.T) {
 // switch datapath itself sharded. Results must stay bit-identical to the
 // unsharded fabric for a network-exact query.
 func TestFabricWithShardsInside(t *testing.T) {
+	forceProcs(t)
 	tp := equivFabric()
 	recs := fabricTrace(t, tp, 300)
 	q := MustCompile(queries.ByName("Per-flow counters").Source)

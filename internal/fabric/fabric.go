@@ -35,6 +35,7 @@ package fabric
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"perfq/internal/compiler"
 	"perfq/internal/exec"
@@ -45,9 +46,9 @@ import (
 	"perfq/internal/trace"
 )
 
-// batch is the records-per-channel-send granularity of the parallel run
-// (see internal/shard for the sizing rationale; the channel depth is
-// shard.Workers' inflight constant).
+// batch is the records-per-ring-slot granularity of the parallel run
+// (see internal/shard for the sizing rationale; each per-switch ring
+// holds shard's ringDepth slots).
 const batch = 256
 
 // Config configures a fabric deployment.
@@ -57,7 +58,8 @@ type Config struct {
 	// switches (zero selects the paper's 2^18-pair 8-way point); Shards
 	// shards each switch's datapath internally.
 	Switch switchsim.Config
-	// Serial disables the per-switch worker goroutines in Run.
+	// Serial disables the per-switch worker goroutines in Run and Feed
+	// (they are also bypassed automatically when GOMAXPROCS is 1).
 	Serial bool
 }
 
@@ -70,15 +72,22 @@ type Fabric struct {
 	ids   []uint16
 	dps   map[uint16]*switchsim.Datapath
 
+	// route and widx are the per-record routing tables, dense over switch
+	// ID so the hot loops index a slice instead of probing a map (the map
+	// lookup was ~20% of the serial replay): route[sw] is the switch's
+	// datapath (nil for IDs outside the topology) and widx[sw] its pump
+	// worker index (-1 likewise).
+	route []*switchsim.Datapath
+	widx  []int32
+
 	packets  uint64
 	unrouted uint64
 
 	// pump is the persistent worker-per-switch feeder of the streaming /
-	// windowed path (nil when idle or Serial): a shard.Workers transport
+	// windowed path (nil when idle or serial): a shard.Workers transport
 	// demuxed by switch ID, whose Barrier aligns epoch boundaries across
 	// the fabric.
-	pump    *shard.Workers[trace.Record]
-	pumpIdx map[uint16]int
+	pump *shard.Workers[trace.Record]
 
 	// Collector memoization (Run → Collect → Accuracy read the same
 	// reconciliation).
@@ -86,14 +95,21 @@ type Fabric struct {
 	netAcc  []Accuracy
 }
 
+// serialPath reports whether records should bypass the pump and be
+// applied inline: configured serial, a single switch, or no second
+// processor to run a worker on (the pump hop at GOMAXPROCS=1 is pure
+// overhead — the PR 5 regression). A pump that is already running keeps
+// the stream on it regardless, so mid-stream GOMAXPROCS changes cannot
+// split one window across the two paths.
+func (f *Fabric) serialPath() bool {
+	if f.pump != nil {
+		return false
+	}
+	return f.cfg.Serial || len(f.ids) == 1 || runtime.GOMAXPROCS(0) < 2
+}
+
 // startPump launches the per-switch workers.
 func (f *Fabric) startPump() {
-	if f.pumpIdx == nil {
-		f.pumpIdx = make(map[uint16]int, len(f.ids))
-		for i, id := range f.ids {
-			f.pumpIdx[id] = i
-		}
-	}
 	dps := make([]*switchsim.Datapath, len(f.ids))
 	for i, id := range f.ids {
 		dps[i] = f.dps[id]
@@ -109,21 +125,22 @@ func (f *Fabric) startPump() {
 // feed routes one record into the pump's batches (copying it), counting
 // unrouted switch IDs exactly like the serial Process path.
 func (f *Fabric) feed(rec *trace.Record) {
-	i, ok := f.pumpIdx[rec.QID.Switch()]
-	if !ok {
+	sw := rec.QID.Switch()
+	if int(sw) >= len(f.widx) || f.widx[sw] < 0 {
 		f.unrouted++
 		return
 	}
 	f.packets++
-	f.pump.Feed(i, *rec)
+	f.pump.Feed(int(f.widx[sw]), *rec)
 }
 
-// Feed processes a run of records without ending the window. Unless the
-// fabric is Serial, a persistent worker-per-switch pump is started
-// lazily; call Sync to barrier at a window boundary and EndFeed when the
-// stream ends. Records are copied before Feed returns.
+// Feed processes a run of records without ending the window. When a
+// second processor is available (and the fabric is not Serial), a
+// persistent worker-per-switch pump is started lazily; call Sync to
+// barrier at a window boundary and EndFeed when the stream ends. Records
+// are copied before Feed returns.
 func (f *Fabric) Feed(recs []trace.Record) {
-	if f.cfg.Serial || len(f.ids) == 1 {
+	if f.serialPath() {
 		for i := range recs {
 			f.Process(&recs[i])
 		}
@@ -226,6 +243,21 @@ func New(plan *compiler.Plan, t *topo.Topology, cfg Config) (*Fabric, error) {
 		}
 		f.dps[id] = dp
 	}
+	maxID := ids[0]
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	f.route = make([]*switchsim.Datapath, int(maxID)+1)
+	f.widx = make([]int32, int(maxID)+1)
+	for i := range f.widx {
+		f.widx[i] = -1
+	}
+	for i, id := range ids {
+		f.route[id] = f.dps[id]
+		f.widx[id] = int32(i)
+	}
 	return f, nil
 }
 
@@ -254,24 +286,26 @@ func (f *Fabric) Unrouted() uint64 { return f.unrouted }
 // Process routes one record to its owning switch's datapath, inline on
 // the calling goroutine.
 func (f *Fabric) Process(rec *trace.Record) {
-	dp, ok := f.dps[rec.QID.Switch()]
-	if !ok {
+	sw := rec.QID.Switch()
+	if int(sw) >= len(f.route) || f.route[sw] == nil {
 		f.unrouted++
 		return
 	}
 	f.packets++
-	dp.Process(rec)
+	f.route[sw].Process(rec)
 }
 
 // Run streams a whole source through the fabric and flushes every
-// switch. Unless Config.Serial is set, one worker goroutine per switch
-// drains batched record channels filled by a single demultiplexing
-// feeder (the same pump the windowed runtime barriers at epoch
-// boundaries) — per-switch arrival order (and therefore every store's
-// state trajectory) is identical to the serial path, so the two modes
-// produce bit-identical results.
+// switch. When a second processor is available (and Config.Serial is
+// unset), one worker goroutine per switch drains its SPSC record ring,
+// filled by a single demultiplexing feeder (the same pump the windowed
+// runtime barriers at epoch boundaries) — per-switch arrival order (and
+// therefore every store's state trajectory) is identical to the serial
+// path, so the two modes produce bit-identical results. At GOMAXPROCS=1
+// records are applied inline instead: the pump hop costs throughput and
+// can buy no parallelism.
 func (f *Fabric) Run(src trace.Source) error {
-	if f.cfg.Serial || len(f.ids) == 1 {
+	if f.serialPath() {
 		if err := eachRecord(src, f.Process); err != nil {
 			return err
 		}

@@ -2,13 +2,16 @@ package fabric
 
 import (
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"perfq/internal/compiler"
 	"perfq/internal/exec"
 	"perfq/internal/kvstore"
 	"perfq/internal/lang"
 	"perfq/internal/netsim"
+	"perfq/internal/switchsim"
 	"perfq/internal/topo"
 	"perfq/internal/trace"
 )
@@ -107,6 +110,12 @@ func TestFabricDemux(t *testing.T) {
 // bit-identical to the serial demux (per-switch arrival order is
 // preserved either way).
 func TestFabricSerialParallelIdentical(t *testing.T) {
+	// Exercise the pump even on a single-core host, where the runtime
+	// would otherwise bypass it (see Fabric.serialPath).
+	if runtime.GOMAXPROCS(0) < 2 {
+		prev := runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
 	tp := topo.LeafSpine(4, 2, 8, topo.Options{})
 	recs := workload(t, tp)
 	plan := compile(t, `
@@ -138,6 +147,94 @@ R2 = SELECT qid, tout - tin AS lat WHERE qin > 20000
 				}
 			}
 		}
+	}
+}
+
+// TestFabricSerialFastPath pins the PR-5 regression fix: with one
+// processor the pump hop buys no parallelism, so Run and Feed must
+// apply records inline and never start the per-switch workers — and a
+// run that does go through the pump must still be bit-identical (the
+// equivalence half is TestFabricSerialParallelIdentical).
+func TestFabricSerialFastPath(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	tp := topo.LeafSpine(4, 2, 8, topo.Options{})
+	recs := workload(t, tp)
+	plan := compile(t, `R = SELECT COUNT GROUPBY 5tuple`)
+	f, err := New(plan, tp, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Feed(recs)
+	f.Sync()
+	if f.pump != nil {
+		t.Fatal("Feed started the pump at GOMAXPROCS=1")
+	}
+	if err := f.Run(&trace.SliceSource{Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	if f.pump != nil {
+		t.Fatal("Run started the pump at GOMAXPROCS=1")
+	}
+	if f.Packets() != uint64(2*len(recs)) {
+		t.Fatalf("packets = %d, want %d", f.Packets(), 2*len(recs))
+	}
+}
+
+// TestFabricSerialThroughputRegression guards the fabric's serial tax:
+// routing a record through the fabric (dense switch table + per-switch
+// datapath) must stay within a constant factor of feeding the same
+// stream straight into a single datapath of the same total geometry.
+// The bound is deliberately loose — it catches a relapse into per-record
+// map probing or an accidental pump hop (the 8.0M → 6.8M pkts/s PR-5
+// regression), not scheduler noise. Skipped under -short and race.
+func TestFabricSerialThroughputRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("timing test (race instrumentation skews the ratio)")
+	}
+	tp := topo.LeafSpine(4, 2, 8, topo.Options{})
+	recs, err := netsim.GenWorkload(tp, netsim.Workload{Seed: 12, Flows: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := compile(t, `R = SELECT COUNT, SUM(pkt_len) GROUPBY 5tuple`)
+
+	runOnce := func(run func()) float64 {
+		start := time.Now()
+		run()
+		return float64(len(recs)) / time.Since(start).Seconds()
+	}
+	var base, fab float64
+	for i := 0; i < 3; i++ { // best of 3 absorbs one-off scheduling hiccups
+		b := runOnce(func() {
+			dp, err := switchsim.New(plan, switchsim.Config{Geometry: kvstore.SetAssociative(1<<14, 8)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dp.Run(&trace.SliceSource{Records: recs}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		f := runOnce(func() {
+			fb, err := New(plan, tp, Config{
+				Switch: switchsim.Config{Geometry: kvstore.SetAssociative(1<<14, 8)},
+				Serial: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fb.Run(&trace.SliceSource{Records: recs}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		base, fab = max(base, b), max(fab, f)
+	}
+	if ratio := fab / base; ratio < 0.45 {
+		t.Fatalf("fabric serial runs at %.0f%% of the single-datapath rate (%.2fM vs %.2fM pkts/s); the serial path is paying per-record overhead again",
+			100*ratio, fab/1e6, base/1e6)
 	}
 }
 

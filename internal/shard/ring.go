@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// This file is the transport under Workers: one bounded single-producer
+// single-consumer ring per worker, carrying batch slots instead of
+// channel sends. Channels lost on three counts (see DESIGN.md "The
+// transport" for measurements): every send/receive takes the channel's
+// internal mutex and copies the slice header through hchan, a parked
+// receiver pays a full scheduler wakeup on every batch, and recycling
+// buffers through a sync.Pool boxes a slice header per Put. The ring
+// replaces all three with two padded atomic counters: the producer owns
+// `tail`, the consumer owns `head`, a slot's buffer is reused in place
+// once the consumer has moved past it (steady-state zero allocation),
+// and both sides spin briefly before parking so the common
+// producer-and-consumer-both-hot case never enters the scheduler.
+const (
+	// ringDepth is the number of batch slots per ring (power of two).
+	// Depth × batch bounds per-worker buffering, and at GOMAXPROCS=1 it
+	// sets the handoff granularity: the producer fills the whole ring
+	// before yielding, so larger depth means fewer scheduler round trips.
+	ringDepth = 8
+
+	// spinTight / spinYield bound the two waiting phases: a handful of
+	// raw re-checks (the counterpart is mid-update on another core),
+	// then cooperative yields (it is runnable but not scheduled — the
+	// whole story at GOMAXPROCS=1), then a real park on a channel.
+	spinTight = 16
+	spinYield = 64
+)
+
+// Slot kinds. Barrier and close ride the ring as sentinel slots so they
+// order with data exactly like the nil-batch token did on channels.
+const (
+	slotBatch uint8 = iota
+	slotBarrier
+	slotClose
+)
+
+type slot[T any] struct {
+	items []T // reused buffer, cap == batch
+	kind  uint8
+}
+
+// ring is a bounded SPSC ring of batch slots. The producer appends into
+// the unpublished slot at tail via buf and publishes by advancing tail;
+// the consumer processes the slot at head and releases by advancing
+// head. head and tail sit on separate cache lines so the two sides never
+// false-share, and each side parks on its own one-token channel after
+// the spin phases fail (Dekker-style: waiter sets its flag, re-checks
+// the condition, then blocks; waker swaps the flag and drops a token —
+// a stale token only causes a spurious re-check).
+type ring[T any] struct {
+	slots []slot[T]
+	mask  uint64
+
+	_    [64]byte
+	head atomic.Uint64 // next slot to consume (consumer-owned)
+	_    [56]byte
+	tail atomic.Uint64 // next slot to publish (producer-owned)
+	_    [56]byte
+
+	prodWait atomic.Bool
+	consWait atomic.Bool
+	prodPark chan struct{}
+	consPark chan struct{}
+
+	// buf is the producer's view of the unpublished slot's buffer (nil
+	// when no slot is acquired). Producer-only.
+	buf []T
+}
+
+func newRing[T any](depth, batch int) *ring[T] {
+	r := &ring[T]{
+		slots:    make([]slot[T], depth),
+		mask:     uint64(depth - 1),
+		prodPark: make(chan struct{}, 1),
+		consPark: make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].items = make([]T, 0, batch)
+	}
+	return r
+}
+
+// acquire waits until the slot at tail is reusable and points buf at its
+// (truncated) buffer. No-op when a slot is already acquired.
+func (r *ring[T]) acquire() {
+	if r.buf != nil {
+		return
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.slots)) {
+		r.waitNotFull(t)
+	}
+	r.buf = r.slots[t&r.mask].items[:0]
+}
+
+// waitNotFull is acquire's slow path: the ring is full, so spin, yield,
+// then park until the consumer releases a slot.
+func (r *ring[T]) waitNotFull(t uint64) {
+	for spin := 0; ; spin++ {
+		if t-r.head.Load() < uint64(len(r.slots)) {
+			return
+		}
+		switch {
+		case spin < spinTight:
+			// re-check
+		case spin < spinYield:
+			runtime.Gosched()
+		default:
+			r.prodWait.Store(true)
+			if t-r.head.Load() < uint64(len(r.slots)) {
+				r.prodWait.Store(false)
+				return
+			}
+			<-r.prodPark
+			spin = 0
+		}
+	}
+}
+
+// publish hands the acquired slot to the consumer with the given kind.
+func (r *ring[T]) publish(kind uint8) {
+	t := r.tail.Load()
+	s := &r.slots[t&r.mask]
+	s.items = r.buf
+	s.kind = kind
+	r.buf = nil
+	r.tail.Store(t + 1)
+	if r.consWait.Swap(false) {
+		select {
+		case r.consPark <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// take blocks until a slot is published and returns it. The caller must
+// release() when done with the slot's buffer.
+func (r *ring[T]) take() *slot[T] {
+	h := r.head.Load()
+	if r.tail.Load() == h {
+		r.waitNotEmpty(h)
+	}
+	return &r.slots[h&r.mask]
+}
+
+// waitNotEmpty is take's slow path, symmetric to waitNotFull.
+func (r *ring[T]) waitNotEmpty(h uint64) {
+	for spin := 0; ; spin++ {
+		if r.tail.Load() != h {
+			return
+		}
+		switch {
+		case spin < spinTight:
+			// re-check
+		case spin < spinYield:
+			runtime.Gosched()
+		default:
+			r.consWait.Store(true)
+			if r.tail.Load() != h {
+				r.consWait.Store(false)
+				return
+			}
+			<-r.consPark
+			spin = 0
+		}
+	}
+}
+
+// release returns the consumed slot to the producer.
+func (r *ring[T]) release() {
+	r.head.Store(r.head.Load() + 1)
+	if r.prodWait.Swap(false) {
+		select {
+		case r.prodPark <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -14,11 +14,12 @@
 // T, whose output is a multiset that is sorted at materialization) carry
 // no key and are spread round-robin for load balance.
 //
-// Records move through batched channels (Config.Batch per send, default
-// 256) so the synchronization cost per record is a fraction of a channel
-// operation. A single feeder preserves arrival order within each shard,
-// which keeps per-key update order — and therefore every fold's state
-// trajectory — identical to the serial datapath.
+// Records move through bounded per-shard SPSC rings of batch slots
+// (Config.Batch records per slot, default 256) so the synchronization
+// cost per record is a fraction of two atomic counter updates. A single
+// feeder preserves arrival order within each shard, which keeps per-key
+// update order — and therefore every fold's state trajectory — identical
+// to the serial datapath.
 package shard
 
 import (
@@ -28,18 +29,15 @@ import (
 	"perfq/internal/trace"
 )
 
-// DefaultBatch is the number of records per channel send. 256 amortizes
-// the channel synchronization to well under a nanosecond-scale cost per
-// record while keeping per-shard buffering (batch × inflight × record
-// size) in the tens of kilobytes.
+// DefaultBatch is the number of records per ring slot. 256 amortizes
+// the publish/park synchronization to well under a nanosecond per
+// record while keeping per-shard buffering (batch × ringDepth × record
+// size) within the L2 working set; see the transport batch sweep in
+// EXPERIMENTS.md.
 const DefaultBatch = 256
 
 // MaxTargets bounds the number of routing targets (bits in Item.Mask).
 const MaxTargets = 64
-
-// inflight is the per-shard channel depth in batches; enough to decouple
-// the feeder from momentarily slow workers without unbounded buffering.
-const inflight = 4
 
 // KeyFunc extracts the partition key one target groups records by.
 type KeyFunc func(*trace.Record) packet.Key128

@@ -5,98 +5,90 @@ import "sync"
 // Workers moves batched items from a single feeder to one goroutine per
 // worker — the transport shared by the key-hash sharded Pool and the
 // fabric's switch-demux pump, which differ only in how they pick a
-// worker for an item. Feed, Barrier and Close must be called from one
-// goroutine.
+// worker for an item. Each worker drains its own bounded SPSC ring of
+// batch slots (see ring.go for why this replaced batched channels).
+// Feed, Barrier and Close must be called from one goroutine.
 //
-// A nil batch is the barrier token: a worker acknowledges it in channel
-// order, so after Barrier every item fed so far has been processed —
-// the epoch-boundary alignment of the windowed runtime.
+// A barrier sentinel slot plays the role the nil batch did on channels:
+// a worker acknowledges it in ring order, so after Barrier every item
+// fed so far has been processed — the epoch-boundary alignment of the
+// windowed runtime.
 type Workers[T any] struct {
-	batch int
-	chans []chan []T
-	pend  [][]T
-
-	wg      sync.WaitGroup
-	bar     sync.WaitGroup
-	recycle sync.Pool
+	rings []*ring[T]
+	wg    sync.WaitGroup
+	bar   sync.WaitGroup
 }
 
-// NewWorkers starts n worker goroutines, each draining its channel of
-// item batches through process (called with the worker's index).
-// batch <= 0 selects DefaultBatch; channel depth is `inflight` batches.
+// NewWorkers starts n worker goroutines, each draining its ring of item
+// batches through process (called with the worker's index). batch <= 0
+// selects DefaultBatch; each ring holds ringDepth batch slots.
 func NewWorkers[T any](n, batch int, process func(worker int, items []T)) *Workers[T] {
 	if batch <= 0 {
 		batch = DefaultBatch
 	}
-	w := &Workers[T]{
-		batch: batch,
-		chans: make([]chan []T, n),
-		pend:  make([][]T, n),
-	}
-	w.recycle.New = func() any { return make([]T, 0, batch) }
+	w := &Workers[T]{rings: make([]*ring[T], n)}
 	for i := 0; i < n; i++ {
-		ch := make(chan []T, inflight)
-		w.chans[i] = ch
+		r := newRing[T](ringDepth, batch)
+		w.rings[i] = r
 		w.wg.Add(1)
-		go func(i int, ch chan []T) {
+		go func(i int, r *ring[T]) {
 			defer w.wg.Done()
-			for items := range ch {
-				if items == nil {
+			for {
+				s := r.take()
+				switch s.kind {
+				case slotBatch:
+					process(i, s.items)
+					r.release()
+				case slotBarrier:
+					r.release()
 					w.bar.Done()
-					continue
+				default: // slotClose
+					r.release()
+					return
 				}
-				process(i, items)
-				w.recycle.Put(items[:0]) //nolint:staticcheck // slice header boxing is fine here
 			}
-		}(i, ch)
+		}(i, r)
 	}
 	return w
 }
 
-// Feed appends item to worker's pending batch, sending it when full.
+// Feed appends item to worker's pending batch slot, publishing it when
+// full. The slot buffers are ring-owned and reused in place, so the
+// steady state allocates nothing.
 func (w *Workers[T]) Feed(worker int, item T) {
-	b := w.pend[worker]
-	if b == nil {
-		b = w.recycle.Get().([]T)
+	r := w.rings[worker]
+	if r.buf == nil {
+		r.acquire()
 	}
-	b = append(b, item)
-	if len(b) >= w.batch {
-		w.chans[worker] <- b
-		b = nil
+	r.buf = append(r.buf, item)
+	if len(r.buf) == cap(r.buf) {
+		r.publish(slotBatch)
 	}
-	w.pend[worker] = b
 }
 
-// flush sends every pending partial batch.
-func (w *Workers[T]) flush() {
-	for i, ch := range w.chans {
-		if len(w.pend[i]) > 0 {
-			ch <- w.pend[i]
-			w.pend[i] = nil
+// sentinel flushes every ring's pending partial batch and publishes one
+// sentinel slot per ring — the single flush path of Barrier and Close.
+func (w *Workers[T]) sentinel(kind uint8) {
+	for _, r := range w.rings {
+		if len(r.buf) > 0 {
+			r.publish(slotBatch)
 		}
+		r.acquire()
+		r.publish(kind)
 	}
 }
 
 // Barrier flushes pending batches and blocks until every item fed so
 // far has been processed. The workers stay usable.
 func (w *Workers[T]) Barrier() {
-	w.bar.Add(len(w.chans))
-	for i, ch := range w.chans {
-		if len(w.pend[i]) > 0 {
-			ch <- w.pend[i]
-			w.pend[i] = nil
-		}
-		ch <- nil // barrier token, acknowledged in channel order
-	}
+	w.bar.Add(len(w.rings))
+	w.sentinel(slotBarrier)
 	w.bar.Wait()
 }
 
-// Close flushes, closes the channels and waits for the workers to
-// drain. The Workers must not be fed afterwards.
+// Close flushes, delivers a close sentinel and waits for the workers to
+// exit. The Workers must not be fed afterwards.
 func (w *Workers[T]) Close() {
-	w.flush()
-	for _, ch := range w.chans {
-		close(ch)
-	}
+	w.sentinel(slotClose)
 	w.wg.Wait()
 }

@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"slices"
 	"sync"
 
@@ -292,8 +293,18 @@ func (d *Datapath) Process(rec *trace.Record) {
 	}
 }
 
+// serialFeed reports whether a sharded stream should skip the worker
+// pool and apply records inline through the router: with no second
+// processor the pool hop is pure overhead, and the inline path is
+// bit-identical (same routing masks, same per-shard arrival order). A
+// pool that is already running keeps the stream on it regardless.
+func (d *Datapath) serialFeed() bool {
+	return d.pool == nil && runtime.GOMAXPROCS(0) < 2
+}
+
 // Run streams a whole source and flushes. With Shards > 1 the stream is
-// hash-partitioned across one worker goroutine per shard.
+// hash-partitioned across one worker goroutine per shard (applied
+// inline at GOMAXPROCS=1, where workers could not run in parallel).
 func (d *Datapath) Run(src trace.Source) error {
 	if len(d.shards) == 1 {
 		if ss, ok := src.(*trace.SliceSource); ok {
@@ -306,6 +317,29 @@ func (d *Datapath) Run(src trace.Source) error {
 				sh.process(d, &rest[i], 0, true)
 			}
 			d.packets += uint64(len(rest))
+			d.Flush()
+			return nil
+		}
+		var rec trace.Record
+		for {
+			err := src.Next(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			d.Process(&rec)
+		}
+		d.Flush()
+		return nil
+	}
+	if d.serialFeed() {
+		if ss, ok := src.(*trace.SliceSource); ok {
+			rest := ss.Rest()
+			for i := range rest {
+				d.Process(&rest[i])
+			}
 			d.Flush()
 			return nil
 		}
@@ -345,10 +379,11 @@ func (d *Datapath) Flush() {
 }
 
 // Feed processes a run of records without ending the window — the
-// streaming half of the epoch runtime. With Shards > 1 a persistent
-// worker pool is started lazily and records are hash-routed into it;
-// call Sync to barrier at a window boundary and EndFeed when the stream
-// ends. Feed copies records before returning, so callers may reuse recs.
+// streaming half of the epoch runtime. With Shards > 1 (and a second
+// processor to run workers on) a persistent worker pool is started
+// lazily and records are hash-routed into it; call Sync to barrier at a
+// window boundary and EndFeed when the stream ends. Feed copies records
+// before returning, so callers may reuse recs.
 func (d *Datapath) Feed(recs []trace.Record) {
 	if len(recs) == 0 {
 		return
@@ -358,6 +393,18 @@ func (d *Datapath) Feed(recs []trace.Record) {
 		sh := d.shards[0]
 		for i := range recs {
 			sh.process(d, &recs[i], 0, true)
+		}
+		return
+	}
+	if d.serialFeed() {
+		for i := range recs {
+			rec := &recs[i]
+			d.router.Route(rec, d.masks)
+			for s, m := range d.masks {
+				if m != 0 {
+					d.shards[s].process(d, rec, m, false)
+				}
+			}
 		}
 		return
 	}

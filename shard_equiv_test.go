@@ -16,6 +16,7 @@ package perfq
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +26,19 @@ import (
 	"perfq/internal/trace"
 	"perfq/internal/tracegen"
 )
+
+// forceProcs raises GOMAXPROCS to at least 4 for the duration of a test
+// so the parallel transport — worker pools, the fabric pump, their ring
+// buffers and barriers — is actually exercised (and race-detectable)
+// even on a single-core host, where the runtime would otherwise take
+// the GOMAXPROCS=1 inline bypass.
+func forceProcs(t testing.TB) {
+	if runtime.GOMAXPROCS(0) >= 4 {
+		return
+	}
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
 
 // churnTrace is a trace sized well above the test caches so evicted keys
 // reappear (the regime where the merge machinery actually works).
@@ -120,6 +134,7 @@ func allTables(r *Results) map[string]*Table {
 // for linear-in-state queries, within the Figure 6 accuracy envelope for
 // the non-linear one.
 func TestShardedDatapathEquivalence(t *testing.T) {
+	forceProcs(t)
 	recs := churnTrace(t)
 	for _, ex := range queries.Fig2 {
 		ex := ex
@@ -205,6 +220,7 @@ func checkAccuracyEnvelope(t *testing.T, ex *queries.Example, r1, r8 *Results) {
 // flush evicts: exactly one epoch per key, so sharding must be
 // bit-invisible with no exception at all.
 func TestShardedZeroChurnBitIdentical(t *testing.T) {
+	forceProcs(t)
 	cfg := tracegen.DCConfig(7, time.Second)
 	cfg.DropProb = 0.005
 	recs, err := trace.Collect(tracegen.New(cfg))
@@ -244,6 +260,7 @@ func TestShardedZeroChurnBitIdentical(t *testing.T) {
 // no caches means no epoch partitions, so there is no exception here,
 // non-linear folds included.
 func TestShardedGroundTruthIdentical(t *testing.T) {
+	forceProcs(t)
 	recs := churnTrace(t)
 	for _, ex := range queries.Fig2 {
 		ex := ex
@@ -272,6 +289,7 @@ func TestShardedGroundTruthIdentical(t *testing.T) {
 // over one shared compiled query and record slice — the -race target's
 // main course. Every run must produce the reference result.
 func TestShardedRunConcurrent(t *testing.T) {
+	forceProcs(t)
 	recs := churnTrace(t)
 	src := queries.ByName("Per-flow loss rate")
 	q := MustCompile(src.Source)

@@ -197,6 +197,7 @@ func TestWindowedCarryOverCumulative(t *testing.T) {
 // windowed run for exactly-merged queries (shard pools are barriered at
 // every boundary, so no record straddles a close).
 func TestWindowedWithShards(t *testing.T) {
+	forceProcs(t)
 	recs := churnTrace(t)
 	ws := WindowSpec{Count: 4000, Keep: 1 << 20}
 	for _, name := range []string{"Per-flow counters", "TCP out of sequence"} {
@@ -221,6 +222,7 @@ func TestWindowedWithShards(t *testing.T) {
 // window. At zero churn every Figure 2 query must match the per-slice
 // fabric ground truth bit-for-bit.
 func TestWindowedFabric(t *testing.T) {
+	forceProcs(t)
 	tp := equivFabric()
 	recs := fabricTrace(t, tp, 300)
 	ws := WindowSpec{Count: 2500, Keep: 1 << 20}
@@ -242,6 +244,7 @@ func TestWindowedFabric(t *testing.T) {
 // fabric of sharded datapaths — and requires bit-identity with the
 // serial windowed fabric for a network-exact query.
 func TestWindowedFabricWithShards(t *testing.T) {
+	forceProcs(t)
 	tp := equivFabric()
 	recs := fabricTrace(t, tp, 300)
 	ws := WindowSpec{Count: 2500, Keep: 1 << 20}
