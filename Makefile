@@ -41,19 +41,19 @@ bench-json:
 	{ $(GO) test -bench 'BenchmarkShardedDatapath|BenchmarkFabricDatapath|BenchmarkWindowedDatapath' -benchtime 2s -benchmem -run XXX . && \
 	  $(GO) test -bench 'BenchmarkWorkersTransport' -benchtime 1s -benchmem -run XXX ./internal/shard && \
 	  $(GO) test -bench 'BenchmarkFoldEval' -benchtime 1s -benchmem -run XXX ./internal/fold ; } \
-	| $(GO) run ./cmd/benchjson -out BENCH_6.json
-	$(GO) run ./cmd/benchjson -check BENCH_6.json
-	@cat BENCH_6.json
+	| $(GO) run ./cmd/benchjson -out BENCH_7.json
+	$(GO) run ./cmd/benchjson -check BENCH_7.json
+	@cat BENCH_7.json
 
 # Guard the recorded trajectory: fail if any multi-shard entry of the
 # newest recording claims procs: 1 on a multi-CPU host (the harness bug
 # that made the BENCH_3..5 scaling series fiction). CI runs this.
 bench-check:
-	$(GO) run ./cmd/benchjson -check BENCH_6.json
+	$(GO) run ./cmd/benchjson -check BENCH_7.json
 
 # Benchstat-style diff of the newest recording against the previous one.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_5.json BENCH_6.json
+	$(GO) run ./cmd/benchjson -compare BENCH_6.json BENCH_7.json
 
 # Hot-path diagnosis: run the reference EWMA query over a DC trace with
 # CPU and heap profiles; inspect with `go tool pprof cpu.prof`.

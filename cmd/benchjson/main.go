@@ -22,6 +22,13 @@
 //
 // prints a benchstat-style table of the benchmarks the two files share:
 // old/new ns/op with delta, plus deltas for shared throughput metrics.
+// Allocation metrics (B/op, allocs/op) show absolute deltas — a relative
+// delta of an allocation count is meaningless around zero, and zero is
+// exactly where those columns are supposed to sit. With -md the table is
+// emitted as GitHub-flavored markdown, ready to paste into
+// EXPERIMENTS.md or a PR description:
+//
+//	benchjson -compare -md BENCH_6.json BENCH_7.json
 package main
 
 import (
@@ -57,6 +64,7 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	check := flag.String("check", "", "validate a recorded file's procs metrics and exit")
 	compare := flag.Bool("compare", false, "compare two recorded files: benchjson -compare OLD NEW")
+	md := flag.Bool("md", false, "with -compare, emit a markdown table instead of aligned text")
 	flag.Parse()
 
 	switch {
@@ -71,7 +79,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: OLD NEW")
 			os.Exit(2)
 		}
-		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := compareFiles(flag.Arg(0), flag.Arg(1), *md); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -224,8 +232,9 @@ func checkFile(path string) error {
 }
 
 // compareFiles prints a benchstat-style old-vs-new table of the shared
-// benchmarks: ns/op with delta, then every shared custom metric.
-func compareFiles(oldPath, newPath string) error {
+// benchmarks: ns/op with delta, then every shared custom metric. When md
+// is set the table is a markdown table instead of aligned text.
+func compareFiles(oldPath, newPath string, md bool) error {
 	od, err := readDoc(oldPath)
 	if err != nil {
 		return err
@@ -238,19 +247,34 @@ func compareFiles(oldPath, newPath string) error {
 	for _, e := range od.Entries {
 		oldBy[normName(e)] = e
 	}
-	fmt.Printf("old: %s (%s, %d cpus)\nnew: %s (%s, %d cpus)\n\n",
-		oldPath, od.CPU, od.CPUs, newPath, nd.CPU, nd.CPUs)
-	fmt.Printf("%-48s %12s %12s %8s\n", "benchmark [metric]", "old", "new", "delta")
+	printRow := func(name, old, new, delta string) {
+		if md {
+			fmt.Printf("| %s | %s | %s | %s |\n", name, old, new, delta)
+		} else {
+			fmt.Printf("%-48s %12s %12s %8s\n", name, old, new, delta)
+		}
+	}
+	if md {
+		fmt.Printf("old: `%s` (%s, %d cpus); new: `%s` (%s, %d cpus)\n\n",
+			oldPath, od.CPU, od.CPUs, newPath, nd.CPU, nd.CPUs)
+		fmt.Println("| benchmark [metric] | old | new | delta |")
+		fmt.Println("|---|---:|---:|---:|")
+	} else {
+		fmt.Printf("old: %s (%s, %d cpus)\nnew: %s (%s, %d cpus)\n\n",
+			oldPath, od.CPU, od.CPUs, newPath, nd.CPU, nd.CPUs)
+		printRow("benchmark [metric]", "old", "new", "delta")
+	}
+	num := func(v float64) string { return fmt.Sprintf("%.4g", v) }
 	shared := 0
 	for _, e := range nd.Entries {
 		name := normName(e)
 		o, ok := oldBy[name]
 		if !ok {
-			fmt.Printf("%-48s %12s %12.4g %8s\n", name+" [ns/op]", "—", e.NsPerOp, "new")
+			printRow(name+" [ns/op]", "—", num(e.NsPerOp), "new")
 			continue
 		}
 		shared++
-		fmt.Printf("%-48s %12.4g %12.4g %8s\n", name+" [ns/op]", o.NsPerOp, e.NsPerOp, delta(o.NsPerOp, e.NsPerOp))
+		printRow(name+" [ns/op]", num(o.NsPerOp), num(e.NsPerOp), delta(o.NsPerOp, e.NsPerOp))
 		keys := make([]string, 0, len(e.Metrics))
 		for k := range e.Metrics {
 			if _, ok := o.Metrics[k]; ok {
@@ -259,7 +283,13 @@ func compareFiles(oldPath, newPath string) error {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("%-48s %12.4g %12.4g %8s\n", name+" ["+k+"]", o.Metrics[k], e.Metrics[k], delta(o.Metrics[k], e.Metrics[k]))
+			d := delta(o.Metrics[k], e.Metrics[k])
+			if k == "B/op" || k == "allocs/op" {
+				// Allocation columns: the interesting comparisons hover
+				// around zero, where a relative delta is noise or undefined.
+				d = absDelta(o.Metrics[k], e.Metrics[k])
+			}
+			printRow(name+" ["+k+"]", num(o.Metrics[k]), num(e.Metrics[k]), d)
 		}
 	}
 	if shared == 0 {
@@ -273,4 +303,12 @@ func delta(old, new float64) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+// absDelta is the absolute-difference delta used for allocation metrics.
+func absDelta(old, new float64) string {
+	if old == new {
+		return "0"
+	}
+	return fmt.Sprintf("%+.4g", new-old)
 }

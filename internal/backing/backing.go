@@ -16,10 +16,11 @@
 //     still correct over its own interval, which is why the paper reports
 //     higher accuracy for shorter query windows.
 //
-// Storage is a flat entry slice plus a contiguous state slab, with a map
-// serving only as the key index: evictions touch the map once, and bulk
-// readers (Range — the per-window materialization path) walk memory
-// linearly in insertion order instead of iterating a map of pointers.
+// Storage is allocation-free in steady state: an open-addressing Key128
+// table (index.go) maps keys to entry ids, and entries, their state
+// rows, and per-eviction epoch values all live in chunked arenas
+// (arena.go) that Reset retains. The eviction hot path touches the Go
+// allocator only when the key space outgrows every previous window.
 package backing
 
 import (
@@ -37,29 +38,46 @@ type Epoch struct {
 }
 
 // entry is the store's per-key record. Merged values (linear/assoc
-// folds) live in the store's state slab at the entry's index; epoch
-// values (non-mergeable folds) hang off the entry. win is the last
-// measurement window (BeginWindow counter) that touched the entry — the
-// window-scoped accuracy bookkeeping of the epoch runtime.
+// folds) live in the state-row arena at the entry's own id; epoch values
+// (non-mergeable folds) form a linked list of arena nodes off head/tail
+// with nep counting them. win is the last measurement window
+// (BeginWindow counter) that touched the entry — the window-scoped
+// accuracy bookkeeping of the epoch runtime.
 type entry struct {
-	key    packet.Key128
-	epochs []Epoch
-	merged bool
-	win    uint32
+	key        packet.Key128
+	head, tail int32 // epoch node list; -1 = none
+	nep        int32
+	merged     bool
+	win        uint32
+}
+
+// epochNode is one recorded eviction epoch: a row in the epoch-row
+// arena plus the next node in the entry's list.
+type epochNode struct {
+	row  int32
+	next int32 // -1 = end
 }
 
 // Store is the backing key-value store.
 type Store struct {
-	f     *fold.Func
-	m     int
-	s0    []float64 // the fold's initial state, for P-only merges
-	index map[packet.Key128]int32
-	ents  []entry
-	slab  []float64 // m words per entry
+	f  *fold.Func
+	m  int
+	s0 []float64 // the fold's initial state, for P-only merges
+	ix keyIndex
+
+	ents  chunked[entry]    // entry id = state row id in slab
+	slab  rowArena          // one state row per entry (merged values)
+	nodes chunked[epochNode]
+	erows rowArena // one state row per recorded epoch
 
 	invalid int // keys with >1 epoch (non-mergeable folds)
 	merges  uint64
 	appends uint64
+
+	// Merge-path scratch, store-owned so replaying an epoch's first
+	// packet through the fold's indirect Update call allocates nothing.
+	firstIn fold.Input
+	mscr    fold.MergeScratch
 
 	// Window-scoped accounting (the epoch runtime's carry-over mode):
 	// curWin counts BeginWindow calls, winTotal the keys touched since the
@@ -76,24 +94,26 @@ func New(f *fold.Func) *Store {
 	m := f.StateLen()
 	s0 := make([]float64, m)
 	f.Init(s0)
-	return &Store{f: f, m: m, s0: s0, index: make(map[packet.Key128]int32)}
+	return &Store{f: f, m: m, s0: s0, slab: rowArena{m: m}, erows: rowArena{m: m}}
 }
 
-// slot returns the entry's index, creating it on first sight.
+// slot returns the entry's id, creating it on first sight. Entry ids and
+// state-row ids advance in lockstep, so an entry's merged state is
+// always slab row id.
 func (s *Store) slot(key packet.Key128) int32 {
-	if i, ok := s.index[key]; ok {
+	if i, ok := s.ix.get(key); ok {
 		return i
 	}
-	i := int32(len(s.ents))
-	s.ents = append(s.ents, entry{key: key})
-	s.slab = append(s.slab, s.s0...)
-	s.index[key] = i
+	i, e := s.ents.alloc()
+	*e = entry{key: key, head: -1, tail: -1}
+	copy(s.slab.row(s.slab.alloc()), s.s0)
+	s.ix.put(key, i)
 	return i
 }
 
-// state returns entry i's slab slice.
+// state returns entry i's merged-state row.
 func (s *Store) state(i int32) []float64 {
-	return s.slab[int(i)*s.m : int(i)*s.m+s.m]
+	return s.slab.row(i)
 }
 
 // HandleEviction implements the cache's eviction callback contract.
@@ -108,13 +128,13 @@ func (s *Store) HandleEviction(ev *kvstore.Eviction) {
 		}
 		i := s.slot(ev.Key)
 		s.touchValid(i)
-		s.ents[i].merged = true
+		s.ents.at(i).merged = true
 		st := s.state(i)
 		if ev.FirstRec != nil {
 			// History coefficients: P excludes the epoch's first packet,
 			// which is replayed from the snapshot.
-			in := fold.Input{Rec: ev.FirstRec}
-			fold.MergeWithFirstRec(s.f, st, ev.State, ev.P, st, &in)
+			s.firstIn = fold.Input{Rec: ev.FirstRec}
+			fold.MergeWithFirstRecScratch(s.f, st, ev.State, ev.P, st, &s.firstIn, &s.mscr)
 		} else {
 			// History-free coefficients: P covers the whole epoch.
 			fold.MergeLinearState(st, ev.State, ev.P, st, s.s0, s.m)
@@ -123,7 +143,7 @@ func (s *Store) HandleEviction(ev *kvstore.Eviction) {
 	case fold.MergeAssoc:
 		i := s.slot(ev.Key)
 		s.touchValid(i)
-		s.ents[i].merged = true
+		s.ents.at(i).merged = true
 		s.f.Combine(s.state(i), ev.State)
 		s.merges++
 	default:
@@ -134,7 +154,7 @@ func (s *Store) HandleEviction(ev *kvstore.Eviction) {
 // touchValid records a window-scoped update of entry i whose merged value
 // stays trustworthy (exact-merge and associative reconciliations).
 func (s *Store) touchValid(i int32) {
-	if e := &s.ents[i]; e.win != s.curWin+1 {
+	if e := s.ents.at(i); e.win != s.curWin+1 {
 		e.win = s.curWin + 1
 		s.winTotal++
 	}
@@ -142,21 +162,29 @@ func (s *Store) touchValid(i int32) {
 
 func (s *Store) appendEpoch(ev *kvstore.Eviction) {
 	i := s.slot(ev.Key)
-	st := make([]float64, s.m)
-	copy(st, ev.State)
-	e := &s.ents[i]
-	e.epochs = append(e.epochs, Epoch{State: st})
+	row := s.erows.alloc()
+	copy(s.erows.row(row), ev.State)
+	ni, n := s.nodes.alloc()
+	*n = epochNode{row: row, next: -1}
+	e := s.ents.at(i)
+	if e.tail >= 0 {
+		s.nodes.at(e.tail).next = ni
+	} else {
+		e.head = ni
+	}
+	e.tail = ni
+	e.nep++
 	fresh := e.win != s.curWin+1
 	if fresh {
 		e.win = s.curWin + 1
 		s.winTotal++
 	}
 	switch {
-	case len(e.epochs) == 2:
+	case e.nep == 2:
 		// This epoch flipped the key's full-history value untrustworthy.
 		s.invalid++
 		s.winInvalid++
-	case len(e.epochs) > 2 && fresh:
+	case e.nep > 2 && fresh:
 		// Already invalid before this window; its first touch this window
 		// still counts against window accuracy.
 		s.winInvalid++
@@ -166,12 +194,12 @@ func (s *Store) appendEpoch(ev *kvstore.Eviction) {
 
 // value returns entry i's trustworthy full-window value, if any.
 func (s *Store) value(i int32) ([]float64, bool) {
-	e := &s.ents[i]
+	e := s.ents.at(i)
 	switch {
 	case e.merged:
 		return s.state(i), true
-	case len(e.epochs) == 1:
-		return e.epochs[0].State, true
+	case e.nep == 1:
+		return s.erows.row(s.nodes.at(e.head).row), true
 	default:
 		return nil, false
 	}
@@ -180,7 +208,7 @@ func (s *Store) value(i int32) ([]float64, bool) {
 // Get returns the merged value for key. For non-mergeable folds it returns
 // the value only when the key is valid (exactly one epoch).
 func (s *Store) Get(key packet.Key128) ([]float64, bool) {
-	i, ok := s.index[key]
+	i, ok := s.ix.get(key)
 	if !ok {
 		return nil, false
 	}
@@ -191,16 +219,25 @@ func (s *Store) Get(key packet.Key128) ([]float64, bool) {
 // folds). Multi-epoch keys are invalid as totals but each epoch is correct
 // over its own interval.
 func (s *Store) Epochs(key packet.Key128) []Epoch {
-	if i, ok := s.index[key]; ok {
-		return s.ents[i].epochs
+	i, ok := s.ix.get(key)
+	if !ok {
+		return nil
 	}
-	return nil
+	e := s.ents.at(i)
+	if e.nep == 0 {
+		return nil
+	}
+	out := make([]Epoch, 0, e.nep)
+	for ni := e.head; ni >= 0; ni = s.nodes.at(ni).next {
+		out = append(out, Epoch{State: s.erows.row(s.nodes.at(ni).row)})
+	}
+	return out
 }
 
 // Valid reports whether key's value is trustworthy for the full window:
 // always true for mergeable folds, one-epoch-only for the rest.
 func (s *Store) Valid(key packet.Key128) bool {
-	i, ok := s.index[key]
+	i, ok := s.ix.get(key)
 	if !ok {
 		return false
 	}
@@ -209,12 +246,12 @@ func (s *Store) Valid(key packet.Key128) bool {
 }
 
 // Len returns the number of keys present.
-func (s *Store) Len() int { return len(s.ents) }
+func (s *Store) Len() int { return s.ents.n }
 
 // Accuracy returns (valid, total) key counts — Figure 6's metric.
 // Multi-epoch keys are counted as they form, so this is O(1).
 func (s *Store) Accuracy() (valid, total int) {
-	total = len(s.ents)
+	total = s.ents.n
 	return total - s.invalid, total
 }
 
@@ -222,9 +259,9 @@ func (s *Store) Accuracy() (valid, total int) {
 // value), skipping invalid keys. Iteration is a linear walk in insertion
 // order.
 func (s *Store) Range(fn func(key packet.Key128, state []float64) bool) {
-	for i := range s.ents {
+	for i := 0; i < s.ents.n; i++ {
 		if st, ok := s.value(int32(i)); ok {
-			if !fn(s.ents[i].key, st) {
+			if !fn(s.ents.at(int32(i)).key, st) {
 				return
 			}
 		}
@@ -238,9 +275,9 @@ func (s *Store) Range(fn func(key packet.Key128, state []float64) bool) {
 // spatial accuracy accounting; single-switch materialization (Range)
 // never needs it.
 func (s *Store) RangeAll(fn func(key packet.Key128, state []float64, valid bool) bool) {
-	for i := range s.ents {
+	for i := 0; i < s.ents.n; i++ {
 		st, ok := s.value(int32(i))
-		if !fn(s.ents[i].key, st, ok) {
+		if !fn(s.ents.at(int32(i)).key, st, ok) {
 			return
 		}
 	}
@@ -248,9 +285,9 @@ func (s *Store) RangeAll(fn func(key packet.Key128, state []float64, valid bool)
 
 // SortedKeys returns all keys in byte order, for deterministic reporting.
 func (s *Store) SortedKeys() []packet.Key128 {
-	out := make([]packet.Key128, 0, len(s.ents))
-	for i := range s.ents {
-		out = append(out, s.ents[i].key)
+	out := make([]packet.Key128, 0, s.ents.n)
+	for i := 0; i < s.ents.n; i++ {
+		out = append(out, s.ents.at(int32(i)).key)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -287,10 +324,15 @@ func (s *Store) WindowAccuracy() (valid, total int) {
 }
 
 // Reset drops all keys (the tumbling half of a window close). The
-// window-scoped counters restart with the key space.
+// window-scoped counters restart with the key space; index and arena
+// memory is retained, so the next window's refill is allocation-free
+// until the key space outgrows every previous one.
 func (s *Store) Reset() {
-	s.index = make(map[packet.Key128]int32)
-	s.ents, s.slab = nil, nil
+	s.ix.reset()
+	s.ents.reset()
+	s.slab.reset()
+	s.nodes.reset()
+	s.erows.reset()
 	s.invalid = 0
 	s.merges, s.appends = 0, 0
 	s.winTotal, s.winInvalid = 0, 0
@@ -305,7 +347,7 @@ type Stats struct {
 
 // Stats returns reconciliation counters.
 func (s *Store) Stats() Stats {
-	return Stats{Keys: len(s.ents), Merges: s.merges, Appends: s.appends}
+	return Stats{Keys: s.ents.n, Merges: s.merges, Appends: s.appends}
 }
 
 // Add returns the field-wise sum of two counters. Shard-local stores
@@ -318,5 +360,5 @@ func (s Stats) Add(o Stats) Stats {
 // String summarizes the store.
 func (s *Store) String() string {
 	return fmt.Sprintf("backing{fold=%s keys=%d merges=%d appends=%d}",
-		s.f.Name(), len(s.ents), s.merges, s.appends)
+		s.f.Name(), s.ents.n, s.merges, s.appends)
 }

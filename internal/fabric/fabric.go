@@ -82,6 +82,7 @@ type Fabric struct {
 
 	packets  uint64
 	unrouted uint64
+	accBuf   []switchsim.Acc // CloseWindow's reused snapshot (borrowed by callers)
 
 	// pump is the persistent worker-per-switch feeder of the streaming /
 	// windowed path (nil when idle or serial): a shard.Workers transport
@@ -179,6 +180,9 @@ func (f *Fabric) EndFeed() {
 // per-switch backing stores for this window, snapshots the network-wide
 // spatial accuracy, and then resets every switch's stores (tumbling) or
 // carries them across the boundary (carry == true).
+//
+// As with the single-switch datapath, the returned []Acc is borrowed and
+// valid only until the next CloseWindow; retaining callers must copy.
 func (f *Fabric) CloseWindow(carry bool) (map[string]*exec.Table, []switchsim.Acc, error) {
 	f.Sync()
 	f.Flush()
@@ -186,7 +190,13 @@ func (f *Fabric) CloseWindow(carry bool) (map[string]*exec.Table, []switchsim.Ac
 	if err != nil {
 		return nil, nil, err
 	}
-	acc := make([]switchsim.Acc, len(f.plan.Programs))
+	if cap(f.accBuf) < len(f.plan.Programs) {
+		f.accBuf = make([]switchsim.Acc, len(f.plan.Programs))
+	}
+	acc := f.accBuf[:len(f.plan.Programs)]
+	for i := range acc {
+		acc[i] = switchsim.Acc{}
+	}
 	for i := range acc {
 		acc[i].Valid, acc[i].Total = f.netAcc[i].Valid, f.netAcc[i].Total
 		// The window-scoped counts are backing-store level (keys touched

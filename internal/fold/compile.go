@@ -71,6 +71,14 @@ func (c *compiler) finish() (*Code, error) {
 	if len(c.code.ops) > math.MaxUint16 {
 		return nil, fmt.Errorf("fold: program too long for bytecode (%d ops)", len(c.code.ops))
 	}
+	for _, op := range c.code.ops {
+		switch op.op {
+		case opJmp, opJz:
+			c.code.jumps = true
+		case opState, opCol, opStore:
+			c.code.scalar = true
+		}
+	}
 	code := c.code
 	return &code, nil
 }

@@ -519,12 +519,28 @@ func MergeLinearState(dst, snew, p, old, s0 []float64, m int) {
 // history (then f(x, pkt1) − f(y, pkt1) = A1·(x−y) and P·A1 is the full
 // product). firstIn is the snapshot of the epoch's first packet.
 func MergeWithFirstRec(f *Func, dst, snew, p, old []float64, firstIn *Input) {
+	var scr MergeScratch
+	MergeWithFirstRecScratch(f, dst, snew, p, old, firstIn, &scr)
+}
+
+// MergeScratch holds the replay buffers MergeWithFirstRecScratch needs.
+// The state slices are fed through f.Update's indirect call, so
+// stack-local arrays would escape on every merge; a caller that owns a
+// MergeScratch (one per backing store) keeps the eviction path
+// allocation-free.
+type MergeScratch struct {
+	trueS, baseS [MaxState]float64
+}
+
+// MergeWithFirstRecScratch is MergeWithFirstRec with caller-owned
+// scratch, for allocation-free merging on the eviction hot path.
+func MergeWithFirstRecScratch(f *Func, dst, snew, p, old []float64, firstIn *Input, scr *MergeScratch) {
 	m := f.StateLen()
-	var trueS, baseS [MaxState]float64
-	copy(trueS[:m], old[:m])
-	f.Update(trueS[:m], firstIn)
-	f.Init(baseS[:m])
-	f.Update(baseS[:m], firstIn)
+	trueS, baseS := scr.trueS[:m], scr.baseS[:m]
+	copy(trueS, old[:m])
+	f.Update(trueS, firstIn)
+	f.Init(baseS)
+	f.Update(baseS, firstIn)
 	for i := 0; i < m; i++ {
 		baseS[i] = trueS[i] - baseS[i]
 	}

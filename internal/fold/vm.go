@@ -101,6 +101,8 @@ type Code struct {
 	consts []float64
 	nreg   int
 	fields uint32 // bitmask of trace.FieldIDs read via opField
+	jumps  bool   // contains opJmp/opJz (blocks the columnar fast path)
+	scalar bool   // reads state/cols or stores state (per-key, lane-varying)
 	name   string
 }
 

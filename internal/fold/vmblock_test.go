@@ -1,0 +1,170 @@
+package fold
+
+import (
+	"testing"
+
+	"perfq/internal/trace"
+)
+
+// fillBlock loads recs into a field-major block, populating every field.
+func fillBlock(blk *InputBlock, recs []trace.Record) int {
+	for l := range recs {
+		for f := 1; f < trace.NumFields; f++ {
+			blk.Fields[f<<blockShift|l] = float64(recs[l].Field(trace.FieldID(f)))
+		}
+	}
+	return len(recs)
+}
+
+// blockExprs covers both block paths: straight-line codes (the vector
+// loop) and a CondExpr (jumps → per-lane fallback).
+func blockExprs() []Expr {
+	lat := Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)}
+	return []Expr{
+		lat,
+		Bin{Op: OpDiv, L: lat, R: FieldRef(trace.FieldPktLen)}, // /0 lanes
+		Bin{Op: OpMul, L: Const(0.125), R: FieldRef(trace.FieldPktLen)},
+		Call{Fn: FnMax, Args: []Expr{lat, Const(100)}},
+		Call{Fn: FnAbs, Args: []Expr{Bin{Op: OpSub, L: FieldRef(trace.FieldPktLen), R: Const(1500)}}},
+		CondExpr{
+			P: Cmp{Op: CmpGt, L: lat, R: Const(10)},
+			T: FieldRef(trace.FieldPktLen),
+			E: Neg{X: lat},
+		},
+	}
+}
+
+func blockPreds() []Pred {
+	lat := Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)}
+	return []Pred{
+		Cmp{Op: CmpGt, L: lat, R: Const(14)},
+		And{
+			L: Cmp{Op: CmpGt, L: FieldRef(trace.FieldPktLen), R: Const(0)},
+			R: Cmp{Op: CmpLt, L: lat, R: Const(1e9)},
+		},
+		Or{
+			L: Cmp{Op: CmpEq, L: FieldRef(trace.FieldPktLen), R: Const(64)},
+			R: Not{X: Cmp{Op: CmpLe, L: lat, R: Const(15)}},
+		},
+	}
+}
+
+// TestEvalBlockMatchesScalar holds block evaluation to bit-identical
+// agreement with the scalar Eval path over every lane, for vectorizable
+// and jumpy codes alike.
+func TestEvalBlockMatchesScalar(t *testing.T) {
+	recs := sampleRecords()
+	// Pad past one lane-loop unroll boundary with varied records.
+	for i := 0; len(recs) < BlockSize; i++ {
+		recs = append(recs, trace.Record{Tin: int64(i), Tout: int64(3 * i), PktLen: uint32(i % 7 * 100)})
+	}
+	var blk InputBlock
+	n := fillBlock(&blk, recs)
+	var regs BlockRegs
+	out := make([]float64, BlockSize)
+
+	sawVec, sawLane := false, false
+	for _, e := range blockExprs() {
+		code, err := CompileExpr(e)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if code.Vectorizable() {
+			sawVec = true
+		} else {
+			sawLane = true
+		}
+		code.EvalBlock(&blk, n, &regs, out)
+		for l := 0; l < n; l++ {
+			in := Input{Rec: &recs[l]}
+			if want := code.Eval(&in, nil); !eqBits(out[l], want) {
+				t.Errorf("%v: lane %d: block=%v scalar=%v", e, l, out[l], want)
+			}
+		}
+	}
+	if !sawVec || !sawLane {
+		t.Fatalf("expression set must cover both paths: vector=%v fallback=%v", sawVec, sawLane)
+	}
+
+	for _, p := range blockPreds() {
+		code, err := CompilePred(p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !code.Vectorizable() {
+			t.Errorf("%v: WHERE-shaped predicate should compile jump-free", p)
+		}
+		mask := code.EvalBoolBlock(&blk, n, &regs)
+		for l := 0; l < n; l++ {
+			in := Input{Rec: &recs[l]}
+			if got, want := mask&(1<<l) != 0, code.EvalBool(&in, nil); got != want {
+				t.Errorf("%v: lane %d: block=%v scalar=%v", p, l, got, want)
+			}
+		}
+	}
+}
+
+// TestEvalBlockZeroAllocs: block evaluation with caller-owned registers
+// must never touch the allocator, on either path.
+func TestEvalBlockZeroAllocs(t *testing.T) {
+	recs := sampleRecords()
+	var blk InputBlock
+	n := fillBlock(&blk, recs)
+	var regs BlockRegs
+	out := make([]float64, BlockSize)
+	for _, e := range blockExprs() {
+		code, err := CompileExpr(e)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if a := testing.AllocsPerRun(1000, func() { code.EvalBlock(&blk, n, &regs, out) }); a != 0 {
+			t.Errorf("%v: EvalBlock allocs %v, want 0 (vectorizable=%v)", e, a, code.Vectorizable())
+		}
+	}
+	for _, p := range blockPreds() {
+		code, err := CompilePred(p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if a := testing.AllocsPerRun(1000, func() { code.EvalBoolBlock(&blk, n, &regs) }); a != 0 {
+			t.Errorf("%v: EvalBoolBlock allocs %v, want 0", p, a)
+		}
+	}
+}
+
+// BenchmarkEvalBlock measures the amortization win of one dispatch per
+// instruction per block vs per record.
+func BenchmarkEvalBlock(b *testing.B) {
+	lat := Bin{Op: OpSub, L: FieldRef(trace.FieldTout), R: FieldRef(trace.FieldTin)}
+	pred := And{
+		L: Cmp{Op: CmpGt, L: lat, R: Const(14)},
+		R: Cmp{Op: CmpGt, L: FieldRef(trace.FieldPktLen), R: Const(0)},
+	}
+	code, err := CompilePred(pred)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]trace.Record, BlockSize)
+	for i := range recs {
+		recs[i] = trace.Record{Tin: int64(i), Tout: int64(2 * i), PktLen: uint32(64 * (i % 4))}
+	}
+	var blk InputBlock
+	n := fillBlock(&blk, recs)
+	var regs BlockRegs
+
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for l := 0; l < n; l++ {
+				in := Input{Rec: &recs[l]}
+				code.EvalBool(&in, nil)
+			}
+		}
+	})
+	b.Run("block", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			code.EvalBoolBlock(&blk, n, &regs)
+		}
+	})
+}

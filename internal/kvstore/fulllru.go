@@ -37,7 +37,8 @@ type fullLRU struct {
 	stats    Stats
 	aScratch []float64
 	mScratch []float64
-	ev       Eviction // reused eviction payload (fields are borrowed anyway)
+	ev       Eviction   // reused eviction payload (fields are borrowed anyway)
+	blockIn  fold.Input // reused ProcessBlock input (a local would escape per call)
 }
 
 func newFullLRU(cfg Config) *fullLRU {
@@ -160,6 +161,20 @@ func (c *fullLRU) Process(key packet.Key128, in *fold.Input) bool {
 	c.pushFront(slot)
 	c.stats.Inserts++
 	return true
+}
+
+// ProcessBlock implements Cache: one dispatch for a block of packets.
+func (c *fullLRU) ProcessBlock(keys *[fold.BlockSize]packet.Key128, recs []trace.Record, mask uint64) uint64 {
+	var inserted uint64
+	in := &c.blockIn
+	for m := mask; m != 0; m &= m - 1 {
+		l := tz64(m)
+		in.Rec = &recs[l]
+		if c.Process(keys[l], in) {
+			inserted |= 1 << l
+		}
+	}
+	return inserted
 }
 
 // emit delivers an eviction callback for slot, reusing the cache's

@@ -179,6 +179,13 @@ type Cache interface {
 	// fresh entry (a miss), which lets the datapath do key-metadata
 	// bookkeeping off the steady-state hit path.
 	Process(key packet.Key128, in *fold.Input) (inserted bool)
+	// ProcessBlock applies one packet per set bit of mask in ascending
+	// lane order: lane l probes with keys[l] and record recs[l]. It
+	// returns the lanes that initialized fresh entries, as a mask. The
+	// per-lane behavior (probe order, LRU discipline, eviction order) is
+	// exactly Process's — this exists so the datapath's columnar hot
+	// loop pays one interface dispatch per block instead of per packet.
+	ProcessBlock(keys *[fold.BlockSize]packet.Key128, recs []trace.Record, mask uint64) (inserted uint64)
 	// Flush evicts every resident entry (Reason = EvictFlush) in
 	// deterministic order and empties the cache.
 	Flush()
@@ -189,6 +196,9 @@ type Cache interface {
 	// Geometry returns the configured layout.
 	Geometry() Geometry
 }
+
+// tz64 is the trailing-zero count of a nonzero lane mask.
+func tz64(m uint64) int { return bits.TrailingZeros64(m) }
 
 // New builds a cache for the geometry: a set-associative array layout for
 // multi-bucket configurations, or a map-backed full LRU for Buckets == 1.

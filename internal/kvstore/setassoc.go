@@ -65,7 +65,8 @@ type setAssoc struct {
 
 	aScratch []float64
 	mScratch []float64
-	ev       Eviction // reused eviction payload (fields are borrowed anyway)
+	ev       Eviction   // reused eviction payload (fields are borrowed anyway)
+	blockIn  fold.Input // reused ProcessBlock input (a local would escape per call)
 	resident int
 }
 
@@ -202,6 +203,30 @@ func (c *setAssoc) Process(key packet.Key128, in *fold.Input) bool {
 	copy(ord[1:n+1], ord[0:n])
 	ord[0] = slotIdx
 	return true
+}
+
+// ProcessBlock implements Cache: one dispatch for a block of packets.
+func (c *setAssoc) ProcessBlock(keys *[fold.BlockSize]packet.Key128, recs []trace.Record, mask uint64) uint64 {
+	var inserted uint64
+	in := &c.blockIn
+	if c.packed8 {
+		for m := mask; m != 0; m &= m - 1 {
+			l := tz64(m)
+			in.Rec = &recs[l]
+			if c.process8(keys[l], in) {
+				inserted |= 1 << l
+			}
+		}
+		return inserted
+	}
+	for m := mask; m != 0; m &= m - 1 {
+		l := tz64(m)
+		in.Rec = &recs[l]
+		if c.Process(keys[l], in) {
+			inserted |= 1 << l
+		}
+	}
+	return inserted
 }
 
 // process8 is Process for the word-packed metadata layout (ways ≤ 8).

@@ -1,0 +1,161 @@
+package switchsim
+
+import (
+	"math/bits"
+
+	"perfq/internal/compiler"
+	"perfq/internal/fold"
+	"perfq/internal/trace"
+)
+
+// This file is the columnar twin of shardState.process: bulk feeds on a
+// single-owner shard cut the stream into blocks of up to fold.BlockSize
+// records and run each pipeline step across the whole block — one field
+// extraction pass per field (not per record), WHERE predicates through
+// the VM's vectorized EvalBoolBlock, GROUPBY keys packed once per
+// (group, lane), and one kvstore interface dispatch per program per
+// block. Per-program and per-select processing order is unchanged
+// (ascending lanes), so every table, store and accuracy number is
+// bit-identical to the scalar path; only the interleaving *between*
+// programs within a block differs, which nothing observable depends on
+// (Config.OnEvict ordering across programs is unspecified, matching the
+// sharded path's cross-shard ordering contract).
+
+// processBlocks applies a run of records through the columnar path. The
+// caller must own every target (single-shard datapath: mask semantics
+// of process(all=true)).
+func (sh *shardState) processBlocks(d *Datapath, recs []trace.Record) {
+	for base := 0; base < len(recs); base += fold.BlockSize {
+		n := len(recs) - base
+		if n > fold.BlockSize {
+			n = fold.BlockSize
+		}
+		sh.processBlock(d, recs[base:base+n])
+	}
+}
+
+// gatherLane rebuilds the record-major dense field vector for one lane,
+// so sparse per-record work (SELECT column evaluation) reuses the
+// already-extracted block values through the scalar Input.
+func (sc *shardScratch) gatherLane(hp *hotPath, l int) {
+	for _, f := range hp.fields {
+		sc.fields[f] = sc.blk.Lane(f)[l]
+	}
+}
+
+// processBlock is processBlocks' body for one block of 1..BlockSize
+// records.
+func (sh *shardState) processBlock(d *Datapath, recs []trace.Record) {
+	hp := d.hot
+	sc := &sh.scratch
+	n := len(recs)
+	full := ^uint64(0) >> (64 - uint(n))
+
+	// One extraction pass per field: the Record.Field dispatch switch
+	// resolves once per field per block (perfectly predicted across the
+	// lane loop) instead of once per field per record.
+	for _, f := range hp.fields {
+		lane := sc.blk.Lane(f)
+		for l := 0; l < n; l++ {
+			lane[l] = float64(recs[l].Field(f))
+		}
+	}
+
+	// Mirror matching records for select-over-T stages: batched WHERE,
+	// then per-matched-lane column evaluation (matches are sparse, so
+	// evaluating columns lane-wise would waste the non-matching lanes).
+	for si := range hp.selects {
+		sel := &hp.selects[si]
+		mask := full
+		if sel.where != nil {
+			mask = sel.where.EvalBoolBlock(&sc.blk, n, &sc.bregs)
+		} else if sel.st.Where != nil {
+			mask = 0
+			for l := 0; l < n; l++ {
+				in := fold.Input{Rec: &recs[l]}
+				if fold.EvalPred(sel.st.Where, &in, nil) {
+					mask |= 1 << uint(l)
+				}
+			}
+		}
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			sc.gatherLane(hp, l)
+			sc.in.Rec = &recs[l]
+			row := sc.slab.take(len(sel.st.Cols))
+			for i := range row {
+				if c := sel.cols[i]; c != nil {
+					row[i] = c.Eval(&sc.in, nil)
+				} else {
+					row[i] = fold.EvalExpr(sel.st.Cols[i], &sc.in, nil)
+				}
+			}
+			sh.selRows[si] = append(sh.selRows[si], row)
+		}
+	}
+
+	// Key-value store programs: per program, a block-wide match mask,
+	// lazily shared key packing per (group, lane), then one ProcessBlock
+	// call — ascending lane order inside, exactly the scalar sequence.
+	for g := range sc.gmask {
+		sc.gmask[g] = 0
+	}
+	for pi := range hp.progs {
+		ph := &hp.progs[pi]
+		mask := full
+		if !ph.always {
+			mask = 0
+			for i, w := range ph.wheres {
+				if w != nil {
+					mask |= w.EvalBoolBlock(&sc.blk, n, &sc.bregs)
+				} else if p := ph.sp.Members[i].Where; p != nil {
+					for m := full &^ mask; m != 0; m &= m - 1 {
+						l := bits.TrailingZeros64(m)
+						in := fold.Input{Rec: &recs[l]}
+						if fold.EvalPred(p, &in, nil) {
+							mask |= 1 << uint(l)
+						}
+					}
+				}
+				if mask == full {
+					break
+				}
+			}
+			if mask == 0 {
+				continue
+			}
+		}
+		g := ph.group
+		kg := &hp.groups[g]
+		keys := &sc.gkeys[g]
+		if need := mask &^ sc.gmask[g]; need != 0 {
+			if kg.fiveTuple {
+				for m := need; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros64(m)
+					keys[l] = compiler.FiveTupleKey(&recs[l]) // inlines
+				}
+			} else {
+				for m := need; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros64(m)
+					keys[l] = kg.spec.Of(&recs[l])
+				}
+			}
+			sc.gmask[g] |= need
+		}
+		ps := sh.progs[pi]
+		inserted := ps.cache.ProcessBlock(keys, recs, mask)
+		if inserted != 0 && ps.keyVals != nil {
+			// Digest-mode keys: record component values on insert only,
+			// same idempotence rules as the scalar path.
+			for m := inserted; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				key := keys[l]
+				if _, ok := ps.keyVals[key]; !ok {
+					var kv [8]float64
+					kg.spec.Values(&recs[l], kv[:kg.nk])
+					ps.keyVals[key] = sc.slab.copyOf(kv[:kg.nk])
+				}
+			}
+		}
+	}
+}

@@ -165,12 +165,20 @@ func (hp *hotPath) routing(shards, batch int) shard.Config {
 // exists so the steady-state per-record path performs zero heap
 // allocations: the Input (with its dense field vector) is reused across
 // records, key packing scratch lives per group, and select rows /
-// key-component copies are carved from a chunked slab.
+// key-component copies are carved from a chunked slab. The blk/bregs/
+// gkeys/gmask quartet is the columnar-path equivalent: a field-major
+// block, the block register file, and per-group packed keys with a
+// computed-lanes mask.
 type shardScratch struct {
 	in     fold.Input
 	fields [trace.NumFields]float64
 	keys   []packet.Key128 // per key group
 	slab   floatSlab
+
+	blk   fold.InputBlock
+	bregs fold.BlockRegs
+	gkeys [][fold.BlockSize]packet.Key128 // per key group, per lane
+	gmask []uint64                        // per key group: lanes packed this block
 }
 
 func (sc *shardScratch) init(hp *hotPath) {
@@ -178,6 +186,8 @@ func (sc *shardScratch) init(hp *hotPath) {
 		sc.in.Fields = sc.fields[:]
 	}
 	sc.keys = make([]packet.Key128, len(hp.groups))
+	sc.gkeys = make([][fold.BlockSize]packet.Key128, len(hp.groups))
+	sc.gmask = make([]uint64, len(hp.groups))
 }
 
 // floatSlab hands out []float64 rows carved from large chunks, so

@@ -100,6 +100,9 @@ type Datapath struct {
 	pool    *shard.Pool   // persistent sharded feeder of the streaming/windowed path
 	packets uint64
 	masks   []uint64 // scratch per-shard masks for the inline Process path
+
+	accBuf []Acc         // CloseWindow's reused accuracy snapshot (borrowed by callers)
+	tscr   tablesScratch // Tables' reused materialization scratch
 }
 
 // newShardState builds one shard's stores for the plan.
@@ -308,14 +311,10 @@ func (d *Datapath) serialFeed() bool {
 func (d *Datapath) Run(src trace.Source) error {
 	if len(d.shards) == 1 {
 		if ss, ok := src.(*trace.SliceSource); ok {
-			// Bulk replay from memory: process records in place instead
-			// of copying each through Next, with the per-record dispatch
-			// hoisted out of Process.
+			// Bulk replay from memory: run the columnar block path over
+			// the records in place instead of copying each through Next.
 			rest := ss.Rest()
-			sh := d.shards[0]
-			for i := range rest {
-				sh.process(d, &rest[i], 0, true)
-			}
+			d.shards[0].processBlocks(d, rest)
 			d.packets += uint64(len(rest))
 			d.Flush()
 			return nil
@@ -390,10 +389,7 @@ func (d *Datapath) Feed(recs []trace.Record) {
 	}
 	d.packets += uint64(len(recs))
 	if len(d.shards) == 1 {
-		sh := d.shards[0]
-		for i := range recs {
-			sh.process(d, &recs[i], 0, true)
-		}
+		d.shards[0].processBlocks(d, recs)
 		return
 	}
 	if d.serialFeed() {
@@ -458,6 +454,10 @@ type Acc struct {
 // periodic SRAM refresh, where linear folds keep merging exactly because
 // each new cache epoch snapshots its own first packet, and non-mergeable
 // folds accumulate one epoch per boundary crossing).
+//
+// The returned []Acc is borrowed from the datapath and valid only until
+// the next CloseWindow; callers that retain snapshots across closes must
+// copy (the window scheduler does).
 func (d *Datapath) CloseWindow(carry bool) (map[string]*exec.Table, []Acc, error) {
 	d.Sync()
 	d.Flush()
@@ -465,7 +465,10 @@ func (d *Datapath) CloseWindow(carry bool) (map[string]*exec.Table, []Acc, error
 	if err != nil {
 		return nil, nil, err
 	}
-	acc := make([]Acc, len(d.plan.Programs))
+	if cap(d.accBuf) < len(d.plan.Programs) {
+		d.accBuf = make([]Acc, len(d.plan.Programs))
+	}
+	acc := d.accBuf[:len(d.plan.Programs)]
 	for i := range acc {
 		acc[i].Valid, acc[i].Total = d.Accuracy(i)
 		acc[i].WinValid, acc[i].WinTotal = d.WindowAccuracy(i)
@@ -533,8 +536,8 @@ func (d *Datapath) Tables() map[string]*exec.Table {
 		for _, sh := range d.shards {
 			total += sh.progs[pi].store.Len()
 		}
-		memberRows := make([][][]float64, len(sp.Members))
-		slabs := make([][]float64, len(sp.Members))
+		memberRows := d.tscr.memberRows(len(sp.Members), total)
+		slabs := d.tscr.slabHeaders(len(sp.Members))
 		var keyed [][]keyedRef
 		// Packed keys are big-endian per component, so byte order equals
 		// the float-lexicographic row order Table.Sort produces — as long
@@ -543,13 +546,11 @@ func (d *Datapath) Tables() map[string]*exec.Table {
 		// two integer compares per comparison instead of a column walk.
 		byKey := sp.Key.Packed
 		if byKey {
-			keyed = make([][]keyedRef, len(sp.Members))
-			for mi := range keyed {
-				keyed[mi] = make([]keyedRef, 0, total)
-			}
+			keyed = d.tscr.keyedRefs(len(sp.Members), total)
 		}
 		for mi, st := range sp.Members {
-			memberRows[mi] = make([][]float64, 0, total)
+			// Slab backing arrays escape into the emitted rows — only the
+			// header slice is scratch.
 			slabs[mi] = make([]float64, 0, total*(nk+len(st.Out)))
 		}
 		for _, sh := range d.shards {
@@ -618,6 +619,9 @@ func (d *Datapath) Tables() map[string]*exec.Table {
 				}
 				t.Rows = sorted
 			} else {
+				// The gather buffer escapes as the table's row slice; drop
+				// it from the scratch so the next close allocates fresh.
+				d.tscr.rows[mi] = nil
 				t.Sort()
 			}
 			out[st.Name] = t
@@ -632,6 +636,62 @@ func (d *Datapath) Tables() map[string]*exec.Table {
 type keyedRef struct {
 	k0, k1 uint64
 	idx    int32
+}
+
+// tablesScratch is Tables' reusable per-close materialization scratch —
+// the gather/sort buffers whose contents die inside one Tables call (the
+// rows themselves escape into the emitted tables and stay per-close
+// allocations). Buffers are shared across programs within a call and
+// across calls; reset-to-empty keeps capacity, so steady-state closes
+// stop paying the gather allocations that dominated the close path. The
+// emptied buffers keep the previous window's row pointers alive in their
+// capacity tail until overwritten — bounded by one window's row count.
+type tablesScratch struct {
+	rows  [][][]float64 // per-member row gather (handed off on the column-sort path)
+	keyed [][]keyedRef  // per-member integer-sort refs
+	slabs [][]float64   // per-member slab headers (backing arrays escape)
+}
+
+// memberRows returns n empty row-gather buffers with capacity ≥ total.
+func (ts *tablesScratch) memberRows(n, total int) [][][]float64 {
+	for len(ts.rows) < n {
+		ts.rows = append(ts.rows, nil)
+	}
+	ts.rows = ts.rows[:n]
+	for i, r := range ts.rows {
+		if cap(r) < total {
+			r = make([][]float64, 0, total)
+		}
+		ts.rows[i] = r[:0]
+	}
+	return ts.rows
+}
+
+// keyedRefs returns n empty sort-ref buffers with capacity ≥ total.
+func (ts *tablesScratch) keyedRefs(n, total int) [][]keyedRef {
+	for len(ts.keyed) < n {
+		ts.keyed = append(ts.keyed, nil)
+	}
+	ts.keyed = ts.keyed[:n]
+	for i, r := range ts.keyed {
+		if cap(r) < total {
+			r = make([]keyedRef, 0, total)
+		}
+		ts.keyed[i] = r[:0]
+	}
+	return ts.keyed
+}
+
+// slabHeaders returns n zeroed slab header slots.
+func (ts *tablesScratch) slabHeaders(n int) [][]float64 {
+	for len(ts.slabs) < n {
+		ts.slabs = append(ts.slabs, nil)
+	}
+	s := ts.slabs[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
 }
 
 // RangeMember iterates every key of program pi's member mi across all

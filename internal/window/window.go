@@ -136,7 +136,9 @@ type Result struct {
 // implemented by *switchsim.Datapath, *fabric.Fabric and the
 // ground-truth replayers. Feed must copy any records it retains past
 // return; CloseWindow must barrier outstanding fed records, flush,
-// materialize all plan tables, and reset or carry per-store state.
+// materialize all plan tables, and reset or carry per-store state. The
+// acc slice CloseWindow returns may be borrowed from the runner (valid
+// only until its next close); Stream snapshots it into each Result.
 type Runner interface {
 	Feed(recs []trace.Record)
 	CloseWindow(carry bool) (map[string]*exec.Table, []switchsim.Acc, error)
@@ -213,6 +215,10 @@ func (s *scheduler) closeTo(target int64) error {
 			if err != nil {
 				return err
 			}
+			// The runner's acc is borrowed until its next close; the Result
+			// outlives that (emit retains it, and prev feeds empty
+			// carry-over windows), so snapshot it here.
+			acc = append([]switchsim.Acc(nil), acc...)
 		}
 		res := &Result{
 			Index:   s.closed,
