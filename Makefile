@@ -19,10 +19,13 @@ test: build
 # suite runs one worker goroutine per switch; the windowed suite
 # barriers shard pools and the fabric pump at every epoch boundary; the
 # Workers tests drive the SPSC ring transport directly, wrap-around and
-# sentinel slots included). The suites force GOMAXPROCS >= 4 internally
-# so the parallel paths run even on a single-core host.
+# sentinel slots included; the Chaos/Pool suites exercise the backing
+# pool's shipper goroutines, health probers and fault-injected
+# connections). The suites force GOMAXPROCS >= 4 internally so the
+# parallel paths run even on a single-core host. -short skips the
+# longest stall-injection cases; run without it before a release.
 race:
-	$(GO) test -race -run 'TestSharded|TestWithShards|TestPool|TestWorkers|TestFabric|TestWindowed' ./...
+	$(GO) test -race -short -run 'TestSharded|TestWithShards|TestPool|TestWorkers|TestFabric|TestWindowed|TestChaos|TestBackingPool|TestServerRestart' ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
@@ -41,19 +44,19 @@ bench-json:
 	{ $(GO) test -bench 'BenchmarkShardedDatapath|BenchmarkFabricDatapath|BenchmarkWindowedDatapath' -benchtime 2s -benchmem -run XXX . && \
 	  $(GO) test -bench 'BenchmarkWorkersTransport' -benchtime 1s -benchmem -run XXX ./internal/shard && \
 	  $(GO) test -bench 'BenchmarkFoldEval' -benchtime 1s -benchmem -run XXX ./internal/fold ; } \
-	| $(GO) run ./cmd/benchjson -out BENCH_7.json
-	$(GO) run ./cmd/benchjson -check BENCH_7.json
-	@cat BENCH_7.json
+	| $(GO) run ./cmd/benchjson -out BENCH_8.json
+	$(GO) run ./cmd/benchjson -check BENCH_8.json
+	@cat BENCH_8.json
 
 # Guard the recorded trajectory: fail if any multi-shard entry of the
 # newest recording claims procs: 1 on a multi-CPU host (the harness bug
 # that made the BENCH_3..5 scaling series fiction). CI runs this.
 bench-check:
-	$(GO) run ./cmd/benchjson -check BENCH_7.json
+	$(GO) run ./cmd/benchjson -check BENCH_8.json
 
 # Benchstat-style diff of the newest recording against the previous one.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_6.json BENCH_7.json
+	$(GO) run ./cmd/benchjson -compare BENCH_7.json BENCH_8.json
 
 # Hot-path diagnosis: run the reference EWMA query over a DC trace with
 # CPU and heap profiles; inspect with `go tool pprof cpu.prof`.

@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,6 +56,9 @@ func main() {
 		windowT    = flag.Duration("window-time", 0, "close windows every D of virtual trace time")
 		windowKeep = flag.Int("windows-keep", 8, "retained ring of window results")
 		windowCar  = flag.Bool("window-carry", false, "carry state across window boundaries (cumulative)")
+		backing    = flag.String("backing", "", "mirror evictions into a pool of backing stores at host1:port,host2:port,...")
+		backingLoc = flag.Int("backing-local", 0, "spin up N in-process backing stores and pool over them (demo of -backing)")
+		backingQD  = flag.Int("backing-queue", 1<<16, "per-backend eviction queue depth of the -backing pool (overflow drops oldest)")
 		maxRows    = flag.Int("rows", 20, "rows to print per table (0 = all)")
 		truth      = flag.Bool("truth", false, "also run ground truth and report row agreement")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -172,6 +176,29 @@ func main() {
 		opts = append(opts, perfq.WithFabric(fabricTopo))
 	}
 
+	// -backing / -backing-local: mirror the run's evictions into a
+	// resilient pool of backing stores. A dead backend costs accuracy
+	// (reported below), never feed latency.
+	var pool *perfq.BackingPool
+	if *backing != "" || *backingLoc > 0 {
+		addrs := splitAddrs(*backing)
+		var cluster *perfq.BackingCluster
+		if *backingLoc > 0 {
+			cluster, err = q.ServeBackingStores(*backingLoc)
+			if err != nil {
+				fail(err)
+			}
+			defer cluster.Close()
+			addrs = append(addrs, cluster.Addrs()...)
+		}
+		pool, err = q.DialBackingPool(addrs, perfq.BackingPoolConfig{QueueDepth: *backingQD})
+		if err != nil {
+			fail(err)
+		}
+		defer pool.Close()
+		opts = append(opts, perfq.WithBackingPool(pool))
+	}
+
 	var res *perfq.Results
 	if *windowN > 0 || *windowT > 0 {
 		if *truth {
@@ -226,6 +253,19 @@ func main() {
 	}
 	fmt.Printf("cache evictions: %d; backing-store keys valid: %d/%d\n",
 		res.Evictions, res.ValidKeys, res.TotalKeys)
+	if pool != nil {
+		if err := pool.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "pqrun: backing pool sync: %v\n", err)
+		}
+		up := 0
+		for _, h := range pool.Healthy() {
+			if h {
+				up++
+			}
+		}
+		fmt.Printf("backing pool: %d/%d backends healthy, %d evictions dropped\n  %s\n",
+			up, len(pool.Addrs()), pool.DroppedEvictions(), pool.StatsLine())
+	}
 	if sws := res.Switches(); sws != nil {
 		fmt.Printf("fabric: %d switch datapaths, %d pairs each, %d unrouted records",
 			len(sws), res.SwitchPairs(), res.Unrouted())
@@ -268,6 +308,18 @@ func main() {
 // finishProfiles flushes active profiles; a no-op unless profiling flags
 // were given. fail routes through it so os.Exit never truncates them.
 var finishProfiles = func() {}
+
+// splitAddrs parses a comma-separated -backing list, tolerating empty
+// segments and whitespace.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "pqrun: %v\n", err)

@@ -3,9 +3,12 @@ package netstore
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"perfq/internal/fold"
@@ -13,9 +16,97 @@ import (
 	"perfq/internal/packet"
 )
 
+// Defaults for the hardened connection layer. Every frame exchange is
+// deadline-bounded, reconnects are gated by capped exponential backoff
+// (no sleeping on the caller's thread — a failed dial arms a retry-at
+// gate and subsequent calls fail fast until it passes), and a simple
+// circuit breaker turns a persistently dead peer into immediate cheap
+// errors instead of repeated dial attempts.
+const (
+	DefaultIOTimeout       = 2 * time.Second
+	DefaultDialTimeout     = 2 * time.Second
+	DefaultBackoffMin      = 10 * time.Millisecond
+	DefaultBackoffMax      = 1 * time.Second
+	DefaultBreakerTrip     = 5
+	DefaultBreakerCooldown = 1 * time.Second
+)
+
+// Connection-layer errors. Both mean "the peer is not reachable right
+// now and the client refused to spend time proving it again"; callers
+// shipping fire-and-forget evictions count them as drops.
+var (
+	// ErrCircuitOpen is returned while the circuit breaker is open: the
+	// configured number of consecutive failures was reached and the
+	// cooldown has not elapsed. No I/O is attempted.
+	ErrCircuitOpen = errors.New("netstore: circuit breaker open")
+	// ErrBackoff is returned when a reconnect is due but the exponential
+	// backoff gate has not passed yet. No I/O is attempted.
+	ErrBackoff = errors.New("netstore: reconnect backoff in effect")
+)
+
+// Options configures the hardened per-connection behavior. The zero
+// value selects the defaults above; set a negative BreakerTrip to
+// disable the breaker.
+type Options struct {
+	// IOTimeout bounds every frame exchange (write+flush, and the read
+	// of request/response ops) on an established connection.
+	IOTimeout time.Duration
+	// DialTimeout bounds connect *and* the HELLO handshake — the
+	// handshake used to be able to hang forever on a peer that accepts
+	// but never responds.
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the capped exponential reconnect
+	// backoff. Each failed dial doubles the gate (plus jitter); a
+	// successful dial resets it to BackoffMin.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// BreakerTrip is the number of consecutive failures (dial or I/O)
+	// that opens the circuit breaker; 0 selects the default, negative
+	// disables. While open, operations return ErrCircuitOpen without
+	// touching the network until BreakerCooldown has elapsed, then one
+	// half-open trial is allowed.
+	BreakerTrip     int
+	BreakerCooldown time.Duration
+	// Seed seeds the backoff jitter (deterministic tests). 0 uses a
+	// fixed default seed.
+	Seed int64
+	// Dialer overrides the TCP dialer (fault injection, tests). It must
+	// honor the timeout for the connect itself; the handshake deadline
+	// is applied by the client on the returned conn.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.IOTimeout == 0 {
+		o.IOTimeout = DefaultIOTimeout
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.BackoffMin == 0 {
+		o.BackoffMin = DefaultBackoffMin
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.BreakerTrip == 0 {
+		o.BreakerTrip = DefaultBreakerTrip
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
 // Client is a connection to a netstore server. It is not safe for
 // concurrent use; the switch datapath is single-threaded per pipeline,
-// which is the intended caller.
+// which is the intended caller. Counter accessors (Evictions, Acked,
+// Lost, Reconnects, BreakerOpen) may be read concurrently.
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
@@ -23,104 +114,272 @@ type Client struct {
 	f    *fold.Func
 	m    int
 	buf  []byte
+	addr string
+	opts Options
+	rng  *rand.Rand
 
-	evictions uint64
-	reconnect func() (net.Conn, error)
-	addr      string
+	// Reusable response scratch (satellite: readResponse/Get used to
+	// allocate per call). Get's returned state aliases stateBuf and is
+	// valid until the next call. The header arrays live on the struct
+	// because io.ReadFull / bufio.Writer.Write leak their argument, so a
+	// stack array would escape to the heap on every frame.
+	rbuf     []byte
+	stateBuf []float64
+	hdrW     [5]byte
+	hdrR     [5]byte
+
+	// Reconnect backoff gate + circuit breaker state. Written only by
+	// the operating goroutine.
+	backoff  time.Duration
+	retryAt  time.Time
+	failures int       // consecutive dial/I-O failures
+	openedAt time.Time // breaker open instant (zero = closed)
+
+	// Delivery accounting. An eviction written to the socket is
+	// "in flight" until a Sync round trip covers it; a connection that
+	// dies first moves its in-flight count to lost. evictions counts
+	// every frame written (the historical "shipped" stat).
+	evictions  atomic.Uint64
+	acked      atomic.Uint64
+	lost       atomic.Uint64
+	unacked    uint64
+	reconnects atomic.Uint64
+	brkOpen    atomic.Bool
+
+	// healthHint is set (from any goroutine) when an external health
+	// probe has seen the peer alive; the next reconnect attempt clears
+	// the breaker/backoff gates instead of waiting out a cooldown armed
+	// while the peer was down.
+	healthHint atomic.Bool
 }
 
+// NoteReachable records that an out-of-band health check reached the
+// peer, so a recovered backend rejoins on the next operation instead of
+// after the breaker cooldown. Safe to call from any goroutine.
+func (c *Client) NoteReachable() { c.healthHint.Store(true) }
+
 // Dial connects and performs the HELLO handshake for the given fold.
-func Dial(addr string, f *fold.Func) (*Client, error) {
-	c := &Client{
-		f: f, m: f.StateLen(), addr: addr,
-		reconnect: func() (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, 5*time.Second)
-		},
-	}
+// The connect and handshake together are bounded by DialTimeout.
+func Dial(addr string, f *fold.Func, opts ...Options) (*Client, error) {
+	c := NewClient(addr, f, opts...)
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// connect (re)establishes the connection and handshakes.
+// NewClient builds a client without connecting; the first operation
+// dials lazily. Used by the pool, whose backends may be down at start.
+func NewClient(addr string, f *fold.Func, opts ...Options) *Client {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{
+		f: f, m: f.StateLen(), addr: addr, opts: o,
+		rng:     rand.New(rand.NewSource(seed)),
+		backoff: o.BackoffMin,
+	}
+}
+
+// ensureConn returns nil with an established connection, or fails fast:
+// ErrCircuitOpen while the breaker cooldown runs, ErrBackoff while the
+// reconnect gate is armed, or the dial/handshake error itself.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	if c.healthHint.Swap(false) {
+		c.failures = 0
+		c.openedAt = time.Time{}
+		c.retryAt = time.Time{}
+		c.backoff = c.opts.BackoffMin
+		c.brkOpen.Store(false)
+	}
+	now := time.Now()
+	if !c.openedAt.IsZero() {
+		if now.Sub(c.openedAt) < c.opts.BreakerCooldown {
+			return ErrCircuitOpen
+		}
+		// Half-open: fall through to one trial dial.
+	} else if now.Before(c.retryAt) {
+		return ErrBackoff
+	}
+	if err := c.connect(); err != nil {
+		c.dialFailed(now)
+		return err
+	}
+	return nil
+}
+
+// dialFailed arms the backoff gate (exponential, capped, jittered) and
+// feeds the breaker.
+func (c *Client) dialFailed(now time.Time) {
+	jitter := time.Duration(c.rng.Int63n(int64(c.backoff)/2 + 1))
+	c.retryAt = now.Add(c.backoff + jitter)
+	c.backoff *= 2
+	if c.backoff > c.opts.BackoffMax {
+		c.backoff = c.opts.BackoffMax
+	}
+	c.recordFailure()
+}
+
+// recordFailure counts one consecutive failure and opens the breaker at
+// the configured trip point (re-arming the cooldown if already open).
+func (c *Client) recordFailure() {
+	c.failures++
+	if c.opts.BreakerTrip > 0 && c.failures >= c.opts.BreakerTrip {
+		c.openedAt = time.Now()
+		c.brkOpen.Store(true)
+	}
+}
+
+// recordSuccess closes the breaker and resets backoff.
+func (c *Client) recordSuccess() {
+	c.failures = 0
+	c.openedAt = time.Time{}
+	c.brkOpen.Store(false)
+	c.backoff = c.opts.BackoffMin
+	c.retryAt = time.Time{}
+}
+
+// fail tears down the connection after an I/O error: frames written but
+// not yet covered by a Sync are counted lost, and the breaker advances.
+func (c *Client) fail() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.lost.Add(c.unacked)
+	c.unacked = 0
+	c.recordFailure()
+}
+
+// connect (re)establishes the connection and handshakes, all under one
+// DialTimeout deadline.
 func (c *Client) connect() error {
-	conn, err := c.reconnect()
+	conn, err := c.opts.Dialer(c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return err
 	}
+	conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
 	c.conn = conn
 	c.br = bufio.NewReaderSize(conn, 1<<16)
 	c.bw = bufio.NewWriterSize(conn, 1<<16)
+	c.unacked = 0
 
 	payload := make([]byte, 12)
 	binary.LittleEndian.PutUint32(payload[0:4], Magic)
 	binary.LittleEndian.PutUint32(payload[4:8], Version)
 	binary.LittleEndian.PutUint32(payload[8:12], uint32(c.m))
 	if err := c.writeFrame(opHello, payload); err != nil {
-		conn.Close()
-		return err
+		return c.connectFailed(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		conn.Close()
-		return err
+		return c.connectFailed(err)
 	}
 	status, _, err := c.readResponse()
 	if err != nil {
-		conn.Close()
-		return err
+		return c.connectFailed(err)
 	}
 	if status != StatusOK {
-		conn.Close()
-		return fmt.Errorf("netstore: handshake rejected (status %d)", status)
+		return c.connectFailed(fmt.Errorf("netstore: handshake rejected (status %d)", status))
 	}
+	conn.SetDeadline(time.Time{})
+	c.recordSuccess()
+	c.reconnects.Add(1)
 	return nil
 }
 
-// Close flushes and closes the connection.
-func (c *Client) Close() error {
-	if c.conn == nil {
-		return nil
-	}
-	c.bw.Flush()
-	err := c.conn.Close()
+func (c *Client) connectFailed(err error) error {
+	c.conn.Close()
 	c.conn = nil
 	return err
 }
 
-// Evictions returns how many evictions this client has shipped.
-func (c *Client) Evictions() uint64 { return c.evictions }
+// Close flushes and closes the connection. A failed flush is reported
+// (buffered evictions did not reach the peer) and counted lost.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	c.armDeadline()
+	ferr := c.bw.Flush()
+	cerr := c.conn.Close()
+	c.conn = nil
+	if ferr != nil {
+		c.lost.Add(c.unacked)
+		c.unacked = 0
+		return fmt.Errorf("netstore: close flush: %w", ferr)
+	}
+	return cerr
+}
+
+// Evictions returns how many eviction frames this client has written.
+func (c *Client) Evictions() uint64 { return c.evictions.Load() }
+
+// Acked returns how many written evictions a Sync round trip has since
+// confirmed applied.
+func (c *Client) Acked() uint64 { return c.acked.Load() }
+
+// Lost returns how many written evictions were in flight on a
+// connection that died before a Sync covered them. The peer may or may
+// not have applied them — this is the at-most-once uncertainty window.
+func (c *Client) Lost() uint64 { return c.lost.Load() }
+
+// Reconnects returns how many times a connection was established.
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// BreakerOpen reports whether the circuit breaker is currently open.
+func (c *Client) BreakerOpen() bool { return c.brkOpen.Load() }
+
+// armDeadline bounds the next frame exchange on the live connection.
+func (c *Client) armDeadline() {
+	if c.opts.IOTimeout > 0 && c.conn != nil {
+		c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
+	}
+}
 
 func (c *Client) writeFrame(op byte, payload []byte) error {
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
-	hdr[4] = op
-	if _, err := c.bw.Write(hdr[:]); err != nil {
+	binary.LittleEndian.PutUint32(c.hdrW[:4], uint32(1+len(payload)))
+	c.hdrW[4] = op
+	if _, err := c.bw.Write(c.hdrW[:]); err != nil {
 		return err
 	}
 	_, err := c.bw.Write(payload)
 	return err
 }
 
+// readResponse reads one status frame. The payload aliases the client's
+// reusable response buffer and is valid until the next read.
 func (c *Client) readResponse() (status byte, payload []byte, err error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(c.br, c.hdrR[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
+	n := binary.LittleEndian.Uint32(c.hdrR[:4])
 	if n < 1 || n > maxFrame {
 		return 0, nil, ErrTooLarge
 	}
-	body := make([]byte, n-1)
+	if cap(c.rbuf) < int(n-1) {
+		c.rbuf = make([]byte, n-1)
+	}
+	body := c.rbuf[:n-1]
 	if _, err := io.ReadFull(c.br, body); err != nil {
 		return 0, nil, err
 	}
-	return hdr[4], body, nil
+	return c.hdrR[4], body, nil
 }
 
 // HandleEviction ships a cache eviction to the server (fire-and-forget;
-// buffered). It matches the kvstore OnEvict callback shape and retries
-// once through a reconnect on a broken pipe.
+// buffered). It matches the kvstore OnEvict callback shape. A broken
+// connection gets one immediate reconnect attempt — gated by the
+// backoff/breaker state, so a persistently dead peer costs one cheap
+// error check per call, never an unbounded dial loop.
 func (c *Client) HandleEviction(ev *kvstore.Eviction) error {
 	c.buf = c.buf[:0]
 	payload, op, err := encodeEviction(c.buf, c.m, ev.Key, ev.State, ev.P, ev.FirstRec, c.f.Merge)
@@ -128,47 +387,72 @@ func (c *Client) HandleEviction(ev *kvstore.Eviction) error {
 		return err
 	}
 	c.buf = payload
-	if err := c.writeFrame(op, payload); err == nil {
-		c.evictions++
-		return nil
-	}
-	// Broken connection: reconnect and retry once. Evictions buffered in
-	// the dead connection are lost — the same data-loss window a real
-	// switch-to-collector channel has; the paper's validity semantics
-	// already tolerate missing epochs.
-	if err := c.reconnectAndRetry(op, payload); err != nil {
+	return c.ShipFrame(op, payload)
+}
+
+// ShipFrame writes one pre-encoded eviction frame (the shipper encodes
+// on the producer side). Same delivery semantics as HandleEviction.
+func (c *Client) ShipFrame(op byte, payload []byte) error {
+	if err := c.ensureConn(); err != nil {
 		return err
 	}
-	c.evictions++
+	c.armDeadline()
+	if err := c.writeFrame(op, payload); err == nil {
+		c.evictions.Add(1)
+		c.unacked++
+		return nil
+	}
+	// Broken connection: evictions buffered in it are lost — the same
+	// data-loss window a real switch-to-collector channel has; validity
+	// semantics already tolerate missing epochs. Retry once through a
+	// reconnect if the gates allow.
+	c.fail()
+	if err := c.ensureConn(); err != nil {
+		return err
+	}
+	c.armDeadline()
+	if err := c.writeFrame(op, payload); err != nil {
+		c.fail()
+		return err
+	}
+	c.evictions.Add(1)
+	c.unacked++
 	return nil
 }
 
-func (c *Client) reconnectAndRetry(op byte, payload []byte) error {
-	c.conn.Close()
-	if err := c.connect(); err != nil {
-		return fmt.Errorf("netstore: reconnect failed: %w", err)
-	}
-	return c.writeFrame(op, payload)
-}
-
-// Sync flushes buffered evictions and blocks until the server has applied
-// everything sent so far. Because evictions are buffered, a connection
-// that died since the last Sync surfaces here; Sync then reconnects and
-// retries once (evictions buffered in the dead connection are lost, the
-// usual telemetry-channel semantics).
+// Sync flushes buffered evictions and blocks until the server has
+// applied everything sent so far. A connection that died since the last
+// Sync surfaces here; Sync then waits out the backoff gate (bounded by
+// BackoffMax) and retries once on a fresh connection. Evictions in
+// flight on the dead connection are counted Lost.
 func (c *Client) Sync() error {
 	err := c.trySync()
 	if err == nil {
 		return nil
 	}
-	c.conn.Close()
-	if cerr := c.connect(); cerr != nil {
+	if !errors.Is(err, ErrCircuitOpen) && !errors.Is(err, ErrBackoff) {
+		c.fail()
+	}
+	// Sync is a blocking barrier (window close), so unlike the eviction
+	// path it may sleep out the reconnect gate.
+	if wait := time.Until(c.retryAt); wait > 0 && c.openedAt.IsZero() {
+		time.Sleep(wait)
+	}
+	if cerr := c.ensureConn(); cerr != nil {
 		return fmt.Errorf("netstore: reconnect after %v failed: %w", err, cerr)
 	}
-	return c.trySync()
+	if err := c.trySync(); err != nil {
+		c.fail()
+		return err
+	}
+	return nil
 }
 
 func (c *Client) trySync() error {
+	if err := c.ensureConn(); err != nil {
+		return err
+	}
+	c.armDeadline()
 	if err := c.writeFrame(opSync, nil); err != nil {
 		return err
 	}
@@ -182,25 +466,42 @@ func (c *Client) trySync() error {
 	if status != StatusOK {
 		return fmt.Errorf("netstore: sync failed (status %d)", status)
 	}
+	c.acked.Add(c.unacked)
+	c.unacked = 0
+	c.recordSuccess()
 	return nil
 }
 
 // Get fetches a key's merged value. found is false for both absent and
-// invalid (multi-epoch) keys; invalid distinguishes the latter.
+// invalid (multi-epoch) keys; invalid distinguishes the latter. The
+// returned state aliases a reusable buffer, valid until the next call.
 func (c *Client) Get(key packet.Key128) (state []float64, found, invalid bool, err error) {
-	if err := c.writeFrame(opGet, key[:]); err != nil {
+	if err := c.ensureConn(); err != nil {
+		return nil, false, false, err
+	}
+	c.armDeadline()
+	// Stage the key through the reusable buf: key[:] handed to writeFrame
+	// directly would force the key argument to escape per call.
+	c.buf = append(c.buf[:0], key[:]...)
+	if err := c.writeFrame(opGet, c.buf); err != nil {
+		c.fail()
 		return nil, false, false, err
 	}
 	if err := c.bw.Flush(); err != nil {
+		c.fail()
 		return nil, false, false, err
 	}
 	status, payload, err := c.readResponse()
 	if err != nil {
+		c.fail()
 		return nil, false, false, err
 	}
 	switch status {
 	case StatusOK:
-		state = make([]float64, c.m)
+		if cap(c.stateBuf) < c.m {
+			c.stateBuf = make([]float64, c.m)
+		}
+		state = c.stateBuf[:c.m]
 		if _, err := getFloats(payload, state); err != nil {
 			return nil, false, false, err
 		}
@@ -223,16 +524,26 @@ type Stats struct {
 	Total   uint64
 }
 
+// Applied is the number of evictions the server has folded in.
+func (s Stats) Applied() uint64 { return s.Merges + s.Appends }
+
 // Stats queries server counters.
 func (c *Client) Stats() (Stats, error) {
+	if err := c.ensureConn(); err != nil {
+		return Stats{}, err
+	}
+	c.armDeadline()
 	if err := c.writeFrame(opStats, nil); err != nil {
+		c.fail()
 		return Stats{}, err
 	}
 	if err := c.bw.Flush(); err != nil {
+		c.fail()
 		return Stats{}, err
 	}
 	status, payload, err := c.readResponse()
 	if err != nil {
+		c.fail()
 		return Stats{}, err
 	}
 	if status != StatusOK || len(payload) != 40 {
@@ -249,14 +560,21 @@ func (c *Client) Stats() (Stats, error) {
 
 // Reset drops all keys server-side.
 func (c *Client) Reset() error {
+	if err := c.ensureConn(); err != nil {
+		return err
+	}
+	c.armDeadline()
 	if err := c.writeFrame(opReset, nil); err != nil {
+		c.fail()
 		return err
 	}
 	if err := c.bw.Flush(); err != nil {
+		c.fail()
 		return err
 	}
 	status, _, err := c.readResponse()
 	if err != nil {
+		c.fail()
 		return err
 	}
 	if status != StatusOK {

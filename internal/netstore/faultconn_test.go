@@ -1,0 +1,162 @@
+package netstore
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected in-memory pair (deadline-capable).
+func pipeConns() (net.Conn, net.Conn) { return net.Pipe() }
+
+// TestFaultConnResetDeterministic proves the schedule is a function of
+// the spec alone: the reset fires on exactly the configured write, on
+// every run.
+func TestFaultConnResetDeterministic(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		a, b := pipeConns()
+		go io.Copy(io.Discard, b)
+		fc := NewFaultConn(a, FaultSpec{Seed: 7, ResetOnWrite: 3})
+		buf := []byte("hello")
+		for i := 1; i <= 2; i++ {
+			if _, err := fc.Write(buf); err != nil {
+				t.Fatalf("run %d write %d: unexpected error %v", run, i, err)
+			}
+		}
+		if _, err := fc.Write(buf); !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("run %d write 3: got %v, want injected reset", run, err)
+		}
+		// The conn is dead for good afterwards.
+		if _, err := fc.Write(buf); !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("run %d write 4 after reset: got %v", run, err)
+		}
+		fc.Close()
+		b.Close()
+	}
+}
+
+// TestFaultConnPartialWrite delivers half the bytes then resets: the
+// peer must observe a truncated stream, not a clean close after a full
+// frame.
+func TestFaultConnPartialWrite(t *testing.T) {
+	a, b := pipeConns()
+	got := make(chan int, 1)
+	go func() {
+		n, _ := io.Copy(io.Discard, b)
+		got <- int(n)
+	}()
+	fc := NewFaultConn(a, FaultSpec{PartialWrite: 1})
+	payload := make([]byte, 64)
+	n, err := fc.Write(payload)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write: got %v, want injected reset", err)
+	}
+	if n != 32 {
+		t.Fatalf("partial write wrote %d bytes, want 32", n)
+	}
+	if seen := <-got; seen != 32 {
+		t.Fatalf("peer saw %d bytes, want 32", seen)
+	}
+	b.Close()
+}
+
+// TestFaultConnStallHonorsDeadline is the wedge the deadline plumbing
+// exists for: a stalled write returns a timeout at the deadline instead
+// of hanging forever.
+func TestFaultConnStallHonorsDeadline(t *testing.T) {
+	a, b := pipeConns()
+	defer b.Close()
+	fc := NewFaultConn(a, FaultSpec{StallOnWrite: 1})
+	fc.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	start := time.Now()
+	_, err := fc.Write([]byte("stalled"))
+	elapsed := time.Since(start)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("stalled write: got %v, want a net.Error timeout", err)
+	}
+	if elapsed < 80*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("stalled write returned after %v, want ~100ms", elapsed)
+	}
+	fc.Close()
+}
+
+// TestFaultConnStallUnblocksOnClose: without a deadline a stall parks
+// until Close — the shape of a peer that never answers — and Close
+// releases it.
+func TestFaultConnStallUnblocksOnClose(t *testing.T) {
+	a, b := pipeConns()
+	defer b.Close()
+	fc := NewFaultConn(a, FaultSpec{StallOnRead: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 8))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("stalled read after close: got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read not released by Close")
+	}
+}
+
+// TestEvictQueueDropOldest pins the overflow policy: the queue keeps
+// the NEWEST depth entries and counts exactly the evicted oldest ones.
+func TestEvictQueueDropOldest(t *testing.T) {
+	q := newEvictQueue(8)
+	for i := 0; i < 12; i++ {
+		ok, _ := q.push(opAppend, []byte{byte(i)})
+		if !ok {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if got := q.overflowDrops(); got != 4 {
+		t.Fatalf("overflow drops = %d, want 4", got)
+	}
+	if got := q.len(); got != 8 {
+		t.Fatalf("queue len = %d, want 8", got)
+	}
+	spare := evSlot{buf: make([]byte, 0, 8)}
+	for want := 4; want < 12; want++ {
+		item, ok, _ := q.pop(spare, false)
+		if !ok {
+			t.Fatalf("pop at %d: queue empty early", want)
+		}
+		if len(item.buf) != 1 || item.buf[0] != byte(want) {
+			t.Fatalf("pop got %v, want [%d] (oldest must have been dropped)", item.buf, want)
+		}
+		spare = item
+	}
+	if _, ok, _ := q.pop(spare, false); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestEvictQueueCloseDrains: close wakes a parked consumer and pop
+// reports closed only once the queue is empty.
+func TestEvictQueueCloseDrains(t *testing.T) {
+	q := newEvictQueue(8)
+	q.push(opAppend, []byte{1})
+	q.close()
+	if ok, _ := q.push(opAppend, []byte{2}); ok {
+		t.Fatal("push accepted after close")
+	}
+	spare := evSlot{buf: make([]byte, 0, 8)}
+	item, ok, closed := q.pop(spare, true)
+	if !ok || closed {
+		t.Fatalf("pop after close: ok=%v closed=%v, want queued item first", ok, closed)
+	}
+	if item.buf[0] != 1 {
+		t.Fatalf("pop got %v", item.buf)
+	}
+	if _, ok, closed := q.pop(item, true); ok || !closed {
+		t.Fatalf("drained pop: ok=%v closed=%v, want closed", ok, closed)
+	}
+}

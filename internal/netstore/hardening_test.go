@@ -1,0 +1,308 @@
+package netstore
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"perfq/internal/fold"
+	"perfq/internal/kvstore"
+)
+
+// blackhole listens and accepts but never reads or writes — the peer
+// that used to hang Dial's handshake forever.
+func blackhole(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns = append(conns, conn) // hold, never touch
+		}
+	}()
+	t.Cleanup(func() {
+		close(done)
+		ln.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	return ln
+}
+
+// TestDialHandshakeBounded: a peer that accepts but never answers the
+// HELLO must fail Dial within DialTimeout, not hang.
+func TestDialHandshakeBounded(t *testing.T) {
+	ln := blackhole(t)
+	start := time.Now()
+	_, err := Dial(ln.Addr().String(), fold.Count(), Options{DialTimeout: 150 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to a black-hole peer succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("dial took %v, want bounded by ~150ms DialTimeout", elapsed)
+	}
+}
+
+// deadAddr reserves a port and releases it so dials get refused fast.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestCircuitBreaker: K consecutive dial failures open the breaker
+// (operations fail fast with ErrCircuitOpen, no network I/O); after the
+// cooldown a live server closes it again through the half-open trial.
+func TestCircuitBreaker(t *testing.T) {
+	f := fold.Count()
+	addr := deadAddr(t)
+	cl := NewClient(addr, f, Options{
+		DialTimeout: 200 * time.Millisecond,
+		BackoffMin:  time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		BreakerTrip: 3, BreakerCooldown: 150 * time.Millisecond,
+	})
+	t.Cleanup(func() { cl.Close() })
+	ev := &kvstore.Eviction{Key: keyN(1), State: []float64{1}}
+
+	// Drive three real dial failures (sleeping past the backoff gate so
+	// each attempt actually dials).
+	fails := 0
+	for i := 0; i < 50 && fails < 3; i++ {
+		err := cl.HandleEviction(ev)
+		if err == nil {
+			t.Fatal("eviction to dead address succeeded")
+		}
+		if !errors.Is(err, ErrBackoff) && !errors.Is(err, ErrCircuitOpen) {
+			fails++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fails < 3 {
+		t.Fatalf("only %d dial failures observed", fails)
+	}
+	if !cl.BreakerOpen() {
+		t.Fatal("breaker not open after 3 consecutive failures")
+	}
+	if err := cl.HandleEviction(ev); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("op while open: got %v, want ErrCircuitOpen", err)
+	}
+
+	// Bring the peer back on the same address and wait out the cooldown:
+	// the half-open trial must reconnect and close the breaker.
+	srv, err := NewServer(addr, f)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	time.Sleep(160 * time.Millisecond)
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		if lastErr = cl.HandleEviction(ev); lastErr == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("half-open recovery failed: %v", lastErr)
+	}
+	if cl.BreakerOpen() {
+		t.Fatal("breaker still open after successful reconnect")
+	}
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := cl.Stats(); st.Applied() != 1 {
+		t.Fatalf("server applied %d evictions, want 1", st.Applied())
+	}
+}
+
+// TestReconnectBackoffGates: while the peer is down, only a bounded
+// number of dials happen — calls inside the backoff window fail fast
+// with ErrBackoff instead of re-dialing.
+func TestReconnectBackoffGates(t *testing.T) {
+	dials := 0
+	cl := NewClient("127.0.0.1:1", fold.Count(), Options{
+		BackoffMin: 50 * time.Millisecond, BackoffMax: time.Second,
+		BreakerTrip: -1, // isolate the backoff behavior
+		Dialer: func(addr string, timeout time.Duration) (net.Conn, error) {
+			dials++
+			return nil, errors.New("down")
+		},
+	})
+	t.Cleanup(func() { cl.Close() })
+	ev := &kvstore.Eviction{Key: keyN(1), State: []float64{1}}
+	backoffErrs := 0
+	for i := 0; i < 20; i++ {
+		if err := cl.HandleEviction(ev); errors.Is(err, ErrBackoff) {
+			backoffErrs++
+		}
+	}
+	if dials > 3 {
+		t.Fatalf("%d dials for 20 back-to-back calls, want backoff gating (≤3)", dials)
+	}
+	if backoffErrs < 17 {
+		t.Fatalf("only %d/20 calls failed fast via ErrBackoff", backoffErrs)
+	}
+}
+
+// TestCloseReturnsFlushError (satellite): buffered evictions that can't
+// reach the peer at Close must surface as an error, not vanish.
+func TestCloseReturnsFlushError(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", fold.Count())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	// Every conn resets on its 2nd conn-level write: the HELLO flush is
+	// write 1, so the eviction buffered after it dies at Close's flush.
+	cl, err := Dial(srv.Addr(), fold.Count(), Options{
+		Dialer: func(addr string, timeout time.Duration) (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			return NewFaultConn(conn, FaultSpec{ResetOnWrite: 2}), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.HandleEviction(&kvstore.Eviction{Key: keyN(1), State: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err == nil {
+		t.Fatal("Close swallowed the flush error for buffered evictions")
+	}
+	if cl.Lost() != 1 {
+		t.Fatalf("lost = %d, want 1 (the buffered eviction)", cl.Lost())
+	}
+}
+
+// TestGetSteadyStateAllocs (satellite): readResponse/Get reuse their
+// buffers — repeated Gets allocate nothing.
+func TestGetSteadyStateAllocs(t *testing.T) {
+	f := fold.Count()
+	_, cl := startServer(t, f)
+	key := keyN(1)
+	if err := cl.HandleEviction(&kvstore.Eviction{Key: key, State: []float64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the reusable buffers.
+	if _, found, _, err := cl.Get(key); err != nil || !found {
+		t.Fatalf("warmup get: found=%v err=%v", found, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, found, _, err := cl.Get(key); err != nil || !found {
+			t.Fatalf("get: found=%v err=%v", found, err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Get allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestServerRestartMidStream (satellite): kill and restart the server
+// between eviction batches. The client must reconnect through the
+// hardened path, every written frame must be accounted as acked or
+// lost, and a final Sync must converge.
+func TestServerRestartMidStream(t *testing.T) {
+	f := fold.Count()
+	srv1, err := NewServer("127.0.0.1:0", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+	cl, err := Dial(addr, f, Options{
+		IOTimeout: 500 * time.Millisecond, DialTimeout: 500 * time.Millisecond,
+		BackoffMin: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		BreakerTrip: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	// Batch 1, settled by a sync so the kill happens at a clean boundary.
+	for i := 0; i < 100; i++ {
+		if err := cl.HandleEviction(&kvstore.Eviction{Key: keyN(i), State: []float64{1}}); err != nil {
+			t.Fatalf("batch 1 eviction %d: %v", i, err)
+		}
+	}
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	applied1 := srv1.Store().Stats().Appends
+	if applied1 != 100 || cl.Acked() != 100 {
+		t.Fatalf("batch 1: applied=%d acked=%d, want 100/100", applied1, cl.Acked())
+	}
+
+	// Kill mid-stream (Close aborts the client's live connection too)
+	// and restart on the same address with a fresh store.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(addr, f)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+
+	// Batch 2: the first writes may land in the dead socket (counted
+	// lost) or fail outright (retried here); the client must recover
+	// without outside help.
+	written := 0
+	for i := 100; i < 200; i++ {
+		ev := &kvstore.Eviction{Key: keyN(i), State: []float64{1}}
+		for attempt := 0; ; attempt++ {
+			if err := cl.HandleEviction(ev); err == nil {
+				written++
+				break
+			}
+			if attempt > 100 {
+				t.Fatalf("eviction %d never reconnected: %v", i, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if err := cl.Sync(); err != nil {
+		t.Fatalf("final sync did not converge: %v", err)
+	}
+
+	// Lost-epoch accounting: every frame the client ever wrote is acked
+	// or lost, and the two servers' applied counts equal the acked side
+	// exactly (the kill landed on a sync boundary, so nothing was
+	// applied-but-unacked).
+	if cl.Evictions() != cl.Acked()+cl.Lost() {
+		t.Fatalf("written=%d != acked=%d + lost=%d", cl.Evictions(), cl.Acked(), cl.Lost())
+	}
+	applied2 := srv2.Store().Stats().Appends
+	if applied1+applied2 != cl.Acked() {
+		t.Fatalf("applied %d+%d != acked %d", applied1, applied2, cl.Acked())
+	}
+	if cl.Reconnects() < 2 {
+		t.Fatalf("reconnects = %d, want ≥ 2 (initial + restart)", cl.Reconnects())
+	}
+	// The surviving keys are exactly batch 2 minus the lost window.
+	if got := uint64(srv2.Store().Len()); got != applied2 {
+		t.Fatalf("restarted store holds %d keys, want %d", got, applied2)
+	}
+}

@@ -23,6 +23,9 @@ type Server struct {
 	mu    sync.Mutex
 	store *backing.Store
 
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
 	wg     sync.WaitGroup
 	closed chan struct{}
 	logf   func(format string, args ...interface{})
@@ -39,6 +42,7 @@ func NewServer(addr string, f *fold.Func) (*Server, error) {
 		f:      f,
 		ln:     ln,
 		store:  backing.New(f),
+		conns:  make(map[net.Conn]struct{}),
 		closed: make(chan struct{}),
 		logf:   func(string, ...interface{}) {},
 	}
@@ -58,12 +62,40 @@ func (s *Server) SetLogf(f func(format string, args ...interface{})) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and waits for connection handlers to finish.
+// Close stops accepting, aborts every active connection (a handler
+// blocked in a read would otherwise keep Close waiting for a client
+// that never hangs up — exactly the wedge a killed backend must not
+// have), and waits for the handlers to finish.
 func (s *Server) Close() error {
 	close(s.closed)
 	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// track registers an accepted connection for Close teardown; it
+// returns false when the server is already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
 }
 
 // Store exposes the underlying store for in-process inspection (tests and
@@ -83,9 +115,14 @@ func (s *Server) acceptLoop() {
 				return
 			}
 		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			if err := s.serve(conn); err != nil && !errors.Is(err, io.EOF) {
 				s.logf("netstore: conn %v: %v", conn.RemoteAddr(), err)
 			}
@@ -102,8 +139,9 @@ func (s *Server) serve(conn net.Conn) error {
 
 	var hdr [5]byte
 	frame := make([]byte, 0, maxFrame)
+	getBuf := make([]byte, 0, maxFrame) // reused across opGet responses
+	var rh [5]byte                      // hoisted: bw.Write leaks its arg
 	respond := func(status byte, payload []byte) error {
-		var rh [5]byte
 		binary.LittleEndian.PutUint32(rh[:4], uint32(1+len(payload)))
 		rh[4] = status
 		if _, err := bw.Write(rh[:]); err != nil {
@@ -189,7 +227,8 @@ func (s *Server) serve(conn net.Conn) error {
 			status := byte(StatusNotFound)
 			if ok {
 				status = StatusOK
-				payload = putFloats(nil, state)
+				payload = putFloats(getBuf[:0], state)
+				getBuf = payload
 			} else if len(s.store.Epochs(key)) > 1 {
 				status = StatusInvalid
 			}

@@ -1,0 +1,340 @@
+package netstore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the bounded async eviction path of the backing pool: a
+// per-backend drop-oldest queue between the datapath (producer) and one
+// shipper goroutine (consumer) that owns the backend's data connection.
+// The datapath side never blocks and never touches the network — a push
+// is an encode + buffer swap under a short lock; all dialing, deadlines,
+// backoff and breaker handling happen on the shipper goroutine.
+//
+// The queue borrows the SPSC ring design from internal/shard/ring.go —
+// bounded power-of-two slot array, in-place slot buffer reuse, and the
+// spin → Gosched → park wait protocol on the consumer side — but trades
+// the lock-free atomic counters for a short mutex: drop-oldest overflow
+// makes head multi-writer (the producer reclaims the oldest slot when
+// full), and the eviction path is a network ship measured in
+// microseconds, not the 3 ns/item shard hop, so a ~20 ns uncontended
+// lock is noise while keeping the overwrite race provably absent under
+// -race. Slot buffers still recycle in place: push and pop swap slices
+// with the caller's spare buffer, so steady state allocates nothing.
+
+// DefaultQueueDepth bounds a backend's in-flight eviction queue; on
+// overflow the OLDEST queued eviction is dropped (newest data wins, the
+// usual telemetry-channel policy) and counted.
+const DefaultQueueDepth = 1024
+
+// DefaultSyncBatch is how many shipped frames ride between sync
+// barriers: the shipper flushes and round-trips an opSync after this
+// many writes (or whenever the queue runs empty), bounding the
+// at-most-once uncertainty window to one batch.
+const DefaultSyncBatch = 64
+
+// evSlot is one queued eviction: a pre-encoded frame and its op.
+type evSlot struct {
+	op  byte
+	buf []byte
+}
+
+// evictQueue is the bounded drop-oldest queue.
+type evictQueue struct {
+	mu       sync.Mutex
+	slots    []evSlot
+	head     uint64 // next slot to pop
+	tail     uint64 // next slot to push
+	closed   bool
+	overflow uint64 // pushes that evicted the oldest entry
+
+	consWait bool
+	consPark chan struct{}
+}
+
+func newEvictQueue(depth int) *evictQueue {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	// Round up to a power of two so index math stays a mask.
+	d := 1
+	for d < depth {
+		d <<= 1
+	}
+	return &evictQueue{
+		slots:    make([]evSlot, d),
+		consPark: make(chan struct{}, 1),
+	}
+}
+
+// push enqueues one encoded frame, evicting the oldest queued entry if
+// full. Returns false when the queue is closed. Never blocks.
+func (q *evictQueue) push(op byte, payload []byte) (ok, dropped bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false, false
+	}
+	if q.tail-q.head >= uint64(len(q.slots)) {
+		q.head++ // drop the oldest; its buffer stays in the slot array
+		q.overflow++
+		dropped = true
+	}
+	s := &q.slots[q.tail&uint64(len(q.slots)-1)]
+	s.op = op
+	s.buf = append(s.buf[:0], payload...)
+	q.tail++
+	wake := q.consWait
+	q.consWait = false
+	q.mu.Unlock()
+	if wake {
+		select {
+		case q.consPark <- struct{}{}:
+		default:
+		}
+	}
+	return true, dropped
+}
+
+// pop dequeues into spare (swapping buffers so slots reuse in place).
+// With block=false it returns immediately on empty; with block=true it
+// spins, yields, then parks until an item or close arrives.
+func (q *evictQueue) pop(spare evSlot, block bool) (item evSlot, ok, closed bool) {
+	for spin := 0; ; spin++ {
+		q.mu.Lock()
+		if q.head != q.tail {
+			s := &q.slots[q.head&uint64(len(q.slots)-1)]
+			item = *s
+			s.buf = spare.buf // recycle the consumer's spare buffer
+			q.head++
+			q.mu.Unlock()
+			return item, true, false
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return spare, false, true
+		}
+		if !block {
+			q.mu.Unlock()
+			return spare, false, false
+		}
+		switch {
+		case spin < spinTightQ:
+			q.mu.Unlock()
+		case spin < spinYieldQ:
+			q.mu.Unlock()
+			runtime.Gosched()
+		default:
+			q.consWait = true
+			q.mu.Unlock()
+			<-q.consPark
+			spin = 0
+		}
+	}
+}
+
+const (
+	spinTightQ = 8
+	spinYieldQ = 32
+)
+
+func (q *evictQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int(q.tail - q.head)
+}
+
+func (q *evictQueue) overflowDrops() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.overflow
+}
+
+// close marks the queue closed and wakes the consumer; queued items
+// remain poppable (pop drains before reporting closed... it reports
+// closed only when empty).
+func (q *evictQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	wake := q.consWait
+	q.consWait = false
+	q.mu.Unlock()
+	if wake {
+		select {
+		case q.consPark <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ShipperStats is a point-in-time snapshot of one backend shipper.
+type ShipperStats struct {
+	Addr     string
+	Offered  uint64 // evictions handed to this shipper
+	Acked    uint64 // confirmed applied by a sync barrier
+	Shipped  uint64 // frames written to a connection
+	Dropped  uint64 // total not delivered = Overflow + Breaker + Lost
+	Overflow uint64 // dropped oldest on queue overflow
+	Breaker  uint64 // dropped because breaker/backoff refused the ship
+	Lost     uint64 // written to a connection that died before a sync
+
+	Queued     int // currently queued (not yet shipped)
+	Reconnects uint64
+	Open       bool // breaker currently open
+}
+
+// Shipper owns one backend's bounded async eviction path: the queue,
+// the goroutine, and the data-plane Client underneath.
+type Shipper struct {
+	addr  string
+	cl    *Client
+	q     *evictQueue
+	batch int
+
+	offered   atomic.Uint64
+	shipDrops atomic.Uint64 // breaker/backoff/write-failure drops
+
+	// onFault, when set, is called on the shipper goroutine after a
+	// failed ship or sync (the pool uses it to mark the backend down
+	// without waiting for the next health probe). Fixed at construction —
+	// the goroutine reads it unsynchronized.
+	onFault func()
+
+	wg sync.WaitGroup
+}
+
+// NewShipper builds and starts a shipper over its own client. depth and
+// batch of 0 select the defaults; onFault may be nil.
+func NewShipper(addr string, cl *Client, depth, batch int, onFault func()) *Shipper {
+	if batch <= 0 {
+		batch = DefaultSyncBatch
+	}
+	s := &Shipper{addr: addr, cl: cl, q: newEvictQueue(depth), batch: batch, onFault: onFault}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// Enqueue hands one pre-encoded eviction frame to the shipper. It never
+// blocks: on overflow the oldest queued eviction is dropped and
+// counted. Safe for concurrent producers.
+func (s *Shipper) Enqueue(op byte, payload []byte) {
+	s.offered.Add(1)
+	if ok, _ := s.q.push(op, payload); !ok {
+		s.shipDrops.Add(1) // closed shipper: nothing will deliver it
+	}
+}
+
+// run is the consumer loop: pop, ship, and sync every batch boundary or
+// whenever the queue runs empty, so at most one batch is ever
+// unaccounted (neither acked nor dropped).
+func (s *Shipper) run() {
+	defer s.wg.Done()
+	spare := evSlot{buf: make([]byte, 0, maxFrame)}
+	inflight := 0
+	for {
+		// Only park when nothing is in flight; otherwise sync first so
+		// in-flight frames get accounted before we sleep.
+		item, ok, closed := s.q.pop(spare, inflight == 0)
+		if !ok {
+			if inflight > 0 {
+				s.syncBatch(&inflight)
+				continue
+			}
+			if closed {
+				return
+			}
+			continue
+		}
+		if err := s.cl.ShipFrame(item.op, item.buf); err != nil {
+			// Backoff/breaker refusal or a double write failure: the
+			// eviction is dropped, never silently retried.
+			s.shipDrops.Add(1)
+			if s.onFault != nil {
+				s.onFault()
+			}
+		} else {
+			inflight++
+		}
+		spare = item // reuse the popped buffer as the next spare
+		if inflight >= s.batch || s.q.len() == 0 {
+			s.syncBatch(&inflight)
+		}
+	}
+}
+
+// syncBatch settles the in-flight frames: a successful sync acks them,
+// a failure counts them lost (Client.fail) — either way they are
+// accounted afterwards.
+func (s *Shipper) syncBatch(inflight *int) {
+	if *inflight == 0 {
+		return
+	}
+	if err := s.cl.Sync(); err != nil && s.onFault != nil {
+		s.onFault()
+	}
+	*inflight = 0
+}
+
+// Stats snapshots the shipper's accounting. Offered is always equal to
+// Acked + Dropped + Queued + (an in-flight batch of at most SyncBatch
+// frames that the next sync settles).
+func (s *Shipper) Stats() ShipperStats {
+	st := ShipperStats{
+		Addr:       s.addr,
+		Offered:    s.offered.Load(),
+		Acked:      s.cl.Acked(),
+		Shipped:    s.cl.Evictions(),
+		Overflow:   s.q.overflowDrops(),
+		Breaker:    s.shipDrops.Load(),
+		Lost:       s.cl.Lost(),
+		Queued:     s.q.len(),
+		Reconnects: s.cl.Reconnects(),
+		Open:       s.cl.BreakerOpen(),
+	}
+	st.Dropped = st.Overflow + st.Breaker + st.Lost
+	return st
+}
+
+// accounted is how many offered evictions have reached a terminal state
+// (acked or dropped).
+func (s *Shipper) accounted() uint64 {
+	st := s.Stats()
+	return st.Acked + st.Dropped
+}
+
+// Drain blocks until every eviction offered before the call is
+// accounted (acked or dropped) or the deadline passes. With a healthy
+// backend this is "flush + sync completed"; with a dead one the breaker
+// drains the queue by dropping, so Drain still returns promptly.
+func (s *Shipper) Drain(deadline time.Time) error {
+	target := s.offered.Load()
+	for s.accounted() < target {
+		if time.Now().After(deadline) {
+			st := s.Stats()
+			return &DrainTimeoutError{Addr: s.addr, Accounted: st.Acked + st.Dropped, Target: target}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// DrainTimeoutError reports an unfinished drain.
+type DrainTimeoutError struct {
+	Addr              string
+	Accounted, Target uint64
+}
+
+func (e *DrainTimeoutError) Error() string {
+	return "netstore: drain timeout on " + e.Addr
+}
+
+// Close drains briefly, stops the goroutine, and closes the client.
+func (s *Shipper) Close() error {
+	s.q.close()
+	s.wg.Wait()
+	return s.cl.Close()
+}

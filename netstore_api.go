@@ -2,8 +2,10 @@ package perfq
 
 import (
 	"fmt"
+	"time"
 
 	"perfq/internal/fold"
+	"perfq/internal/kvstore"
 	"perfq/internal/netstore"
 )
 
@@ -48,3 +50,137 @@ func (s *BackingServer) StatsLine() string {
 
 // Close stops the server.
 func (s *BackingServer) Close() error { return s.srv.Close() }
+
+// BackingCluster is a set of in-process backing stores for one query —
+// the server side of an elastic backing tier (normally each member
+// would be its own cmd/backingstore process on its own machine).
+type BackingCluster struct {
+	srvs []*BackingServer
+}
+
+// ServeBackingStores starts n TCP backing stores on ephemeral ports,
+// all serving the query's first switch program.
+func (q *Query) ServeBackingStores(n int) (*BackingCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("perfq: cluster needs at least one backing store")
+	}
+	c := &BackingCluster{}
+	for i := 0; i < n; i++ {
+		srv, err := q.ServeBackingStore("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.srvs = append(c.srvs, srv)
+	}
+	return c, nil
+}
+
+// Addrs lists the cluster's listen addresses, in member order.
+func (c *BackingCluster) Addrs() []string {
+	out := make([]string, len(c.srvs))
+	for i, s := range c.srvs {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// StatsLine summarizes every member store for logs.
+func (c *BackingCluster) StatsLine() string {
+	line := ""
+	for i, s := range c.srvs {
+		if i > 0 {
+			line += " | "
+		}
+		line += s.Addr() + " " + s.StatsLine()
+	}
+	return line
+}
+
+// Close stops every member.
+func (c *BackingCluster) Close() error {
+	var first error
+	for _, s := range c.srvs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BackingPool mirrors the query's switch-resident evictions into a
+// resilient pool of backing stores: keys partition across backends by
+// rendezvous hashing, each backend gets health probes plus a bounded
+// async eviction queue, and a dead backend degrades accuracy (counted
+// in DroppedEvictions) instead of stalling the datapath. It is the
+// client side of the elastic backing tier; pair it with WithBackingPool
+// to tap a run's evictions.
+type BackingPool struct {
+	pool *netstore.Pool
+}
+
+// BackingPoolConfig tunes the pool; the zero value selects defaults
+// (2s deadlines, 500ms probes, 1024-deep queues, breaker at 5).
+type BackingPoolConfig struct {
+	// IOTimeout bounds every frame exchange with a backend (0 = 2s).
+	IOTimeout time.Duration
+	// ProbeInterval is the health-check period (0 = 500ms).
+	ProbeInterval time.Duration
+	// QueueDepth bounds each backend's async eviction queue; overflow
+	// drops the oldest queued eviction (0 = 1024).
+	QueueDepth int
+}
+
+// DialBackingPool connects a pool over the given backend addresses for
+// the query's first switch program. Backends that are down at dial time
+// are routed around and picked back up by probing.
+func (q *Query) DialBackingPool(addrs []string, cfg BackingPoolConfig) (*BackingPool, error) {
+	if len(q.plan.Programs) == 0 {
+		return nil, fmt.Errorf("perfq: query has no switch-resident aggregation to back")
+	}
+	pc := netstore.PoolConfig{
+		Client:        netstore.Options{IOTimeout: cfg.IOTimeout, DialTimeout: cfg.IOTimeout},
+		ProbeInterval: cfg.ProbeInterval,
+		QueueDepth:    cfg.QueueDepth,
+	}
+	p, err := netstore.DialPool(addrs, q.plan.Programs[0].Fold, pc)
+	if err != nil {
+		return nil, err
+	}
+	return &BackingPool{pool: p}, nil
+}
+
+// onEvict adapts the pool to the datapath's eviction callback. Only the
+// first switch program is mirrored (the pool speaks one fold); the
+// queue push never blocks the datapath.
+func (p *BackingPool) onEvict(prog int, ev *kvstore.Eviction) {
+	if prog != 0 {
+		return
+	}
+	p.pool.HandleEviction(ev)
+}
+
+// Sync drains every backend queue so each eviction offered so far is
+// either acked by its backend or counted dropped.
+func (p *BackingPool) Sync() error { return p.pool.Sync() }
+
+// DroppedEvictions is the pool's degradation stat: evictions that will
+// never reach any backend (queue overflow, dead-backend refusals,
+// frames lost on broken connections). Each one is a missing epoch in
+// the backing tier — the same accuracy semantics as a cache overflow.
+func (p *BackingPool) DroppedEvictions() uint64 { return p.pool.DroppedEvictions() }
+
+// Healthy reports per-backend health, in address order.
+func (p *BackingPool) Healthy() []bool { return p.pool.Healthy() }
+
+// Addrs lists the backend addresses, in routing order.
+func (p *BackingPool) Addrs() []string { return p.pool.Addrs() }
+
+// Stats snapshots per-backend shipping and store counters.
+func (p *BackingPool) Stats() []netstore.BackendStats { return p.pool.Stats() }
+
+// StatsLine renders a one-line health/drop summary for logs.
+func (p *BackingPool) StatsLine() string { return p.pool.StatsLine() }
+
+// Close drains briefly and tears the pool down.
+func (p *BackingPool) Close() error { return p.pool.Close() }

@@ -238,6 +238,26 @@ func WithWindow(spec WindowSpec) RunOption {
 	return func(c *runConfig) { c.win = &spec }
 }
 
+// WithBackingPool mirrors the run's switch-resident evictions into a
+// resilient pool of TCP backing stores (see Query.DialBackingPool): the
+// scale-out, failure-tolerant deployment of §3.2's split key-value
+// store. The datapath side is a bounded queue push — a slow or dead
+// backend costs accuracy (BackingPool.DroppedEvictions), never feed
+// latency. Call pool.Sync after the run to settle the books. Composes
+// with WithFabric and WithShards (callbacks may then fire from
+// concurrent datapaths; the pool is safe for that).
+func WithBackingPool(p *BackingPool) RunOption {
+	return func(c *runConfig) {
+		prev := c.sw.OnEvict
+		c.sw.OnEvict = func(prog int, ev *kvstore.Eviction) {
+			p.onEvict(prog, ev)
+			if prev != nil {
+				prev(prog, ev)
+			}
+		}
+	}
+}
+
 // Run executes the query on the full co-designed datapath: switch-stage
 // aggregations run through the cache + backing-store pipeline, downstream
 // stages on the collector. It returns every stage's table.
@@ -264,11 +284,12 @@ func (q *Query) Run(src Source, opts ...RunOption) (*Results, error) {
 		return nil, err
 	}
 	stats := dp.Stats()
-	var evictions uint64
+	var evictions, flushed uint64
 	for _, s := range stats {
 		evictions += s.Evictions
+		flushed += s.Flushed
 	}
-	r := &Results{tables: tables, q: q, Evictions: evictions}
+	r := &Results{tables: tables, q: q, Evictions: evictions, Flushed: flushed}
 	r.setAccuracy(dp.Accuracy)
 	return r, nil
 }
@@ -303,11 +324,12 @@ func (q *Query) runFabric(src Source, cfg *runConfig) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	var evictions uint64
+	var evictions, flushed uint64
 	for _, s := range fab.Stats() {
 		evictions += s.Evictions
+		flushed += s.Flushed
 	}
-	r := &Results{tables: tables, q: q, fab: fab, Evictions: evictions}
+	r := &Results{tables: tables, q: q, fab: fab, Evictions: evictions, Flushed: flushed}
 	r.setAccuracy(fab.Accuracy)
 	return r, nil
 }
@@ -529,6 +551,11 @@ type Results struct {
 
 	// Evictions counts capacity evictions across all switch stores.
 	Evictions uint64
+	// Flushed counts the end-of-run cache flush evictions (the entries
+	// still resident when the stream ended). Evictions + Flushed is the
+	// total eviction stream an OnEvict observer — e.g. WithBackingPool —
+	// saw during the run.
+	Flushed uint64
 	// ValidKeys/TotalKeys report backing-store accuracy summed over every
 	// switch store (1/1 for ground truth, or plans with no switch
 	// program; always valid == total for mergeable folds). Fabric runs
