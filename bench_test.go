@@ -21,6 +21,7 @@ import (
 	"perfq/internal/kvstore"
 	"perfq/internal/netsim"
 	"perfq/internal/netstore"
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 	"perfq/internal/queries"
 	"perfq/internal/switchsim"
@@ -157,6 +158,10 @@ func withProcs(b *testing.B, want int) {
 // benchmark prices the close path). B/op therefore measures the
 // per-packet path alone, which the arena-backed tiers keep
 // allocation-free in steady state.
+//
+// A metrics registry is attached, so the recorded series prices the
+// instrumented hot loop — the shape every production deployment runs.
+// BenchmarkObsOverhead isolates what the registry itself costs.
 func BenchmarkShardedDatapath(b *testing.B) {
 	cfg := tracegen.DCConfig(12, 4*time.Second)
 	cfg.DropProb = 0.005
@@ -171,6 +176,7 @@ func BenchmarkShardedDatapath(b *testing.B) {
 			dp, err := switchsim.New(q.Plan(), switchsim.Config{
 				Geometry: kvstore.SetAssociative(1<<14, 8),
 				Shards:   shards,
+				Metrics:  obs.NewRegistry(),
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -192,6 +198,58 @@ func BenchmarkShardedDatapath(b *testing.B) {
 			}
 			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "pkts/s")
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+		})
+	}
+}
+
+// BenchmarkObsOverhead prices the observability layer itself: the
+// serial datapath hot loop with and without a metrics registry
+// attached. The two sub-benchmarks are identical apart from the
+// registry, so their pkts/s ratio is the instrumentation overhead —
+// TestInstrumentationOverhead pins it at ≤2%, and this benchmark is
+// where the recorded JSON shows the measured number.
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := tracegen.DCConfig(12, 4*time.Second)
+	cfg.DropProb = 0.005
+	recs, err := trace.Collect(tracegen.New(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustCompile(queries.ByName("Latency EWMA").Source)
+	for _, instrumented := range []bool{false, true} {
+		name := "off"
+		if instrumented {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			withProcs(b, 1)
+			var reg *obs.Registry
+			if instrumented {
+				reg = obs.NewRegistry()
+			}
+			dp, err := switchsim.New(q.Plan(), switchsim.Config{
+				Geometry: kvstore.SetAssociative(1<<14, 8),
+				Metrics:  reg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(dp.EndFeed)
+			pass := func() {
+				dp.Feed(recs)
+				dp.Sync()
+				dp.Flush()
+				dp.ResetWindow()
+			}
+			pass() // warm
+			b.ReportAllocs()
+			done := 0
+			b.ResetTimer()
+			for done < b.N {
+				pass()
+				done += len(recs)
+			}
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "pkts/s")
 		})
 	}
 }

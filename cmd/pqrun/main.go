@@ -14,6 +14,7 @@
 //	pqrun -gen wan -duration 30s -pairs 65536 -ways 8 query.pq
 //	pqrun -topo leafspine:4x2x8 -flows 400 -incast 16 query.pq
 //	pqrun -window 10000 -windows-keep 8 query.pq
+//	pqrun -window 10000 -metrics-addr :9090 -stats-interval 2s query.pq
 //
 // With -window N (or -window-time D) the query runs as a continuous
 // stream of measurement windows: one summary line per window as it
@@ -21,11 +22,20 @@
 // final window's tables at the end. -window-carry keeps state across
 // boundaries (cumulative windows, the paper's periodic SRAM refresh)
 // instead of the default independent tumbling windows.
+//
+// With -metrics-addr the run serves its live observability surface over
+// HTTP: /metrics in Prometheus text format and /debug/perfq as a JSON
+// drill-down (per-switch, per-backend series). -stats-interval logs a
+// one-line counter summary on stderr while the run is live. Both
+// compose with every other mode, including -backing (pool health and
+// drop counters appear in /metrics).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -59,6 +69,8 @@ func main() {
 		backing    = flag.String("backing", "", "mirror evictions into a pool of backing stores at host1:port,host2:port,...")
 		backingLoc = flag.Int("backing-local", 0, "spin up N in-process backing stores and pool over them (demo of -backing)")
 		backingQD  = flag.Int("backing-queue", 1<<16, "per-backend eviction queue depth of the -backing pool (overflow drops oldest)")
+		metricAddr = flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /debug/perfq (JSON) on this address, e.g. :9090")
+		statsEvery = flag.Duration("stats-interval", 0, "log a one-line stats summary every D while the run is live (0 = off)")
 		maxRows    = flag.Int("rows", 20, "rows to print per table (0 = all)")
 		truth      = flag.Bool("truth", false, "also run ground truth and report row agreement")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -69,6 +81,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: pqrun [flags] <query.pq>")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	// Validate the observability flags before any work happens, and bind
+	// the metrics listener up front so a bad address fails immediately
+	// instead of after minutes of trace generation.
+	if *statsEvery < 0 {
+		fail(fmt.Errorf("-stats-interval must be >= 0, got %v", *statsEvery))
+	}
+	var metrics *perfq.Metrics
+	if *metricAddr != "" || *statsEvery > 0 {
+		metrics = perfq.NewMetrics()
+	}
+	start := time.Now()
+	if *metricAddr != "" {
+		ln, err := net.Listen("tcp", *metricAddr)
+		if err != nil {
+			fail(fmt.Errorf("-metrics-addr %q: %w", *metricAddr, err))
+		}
+		defer ln.Close()
+		queryPath := flag.Arg(0)
+		go http.Serve(ln, metrics.Handler(func() any {
+			return map[string]any{
+				"query":   queryPath,
+				"uptime":  time.Since(start).String(),
+				"shards":  *shards,
+				"backing": *backing != "" || *backingLoc > 0,
+			}
+		}))
+		fmt.Fprintf(os.Stderr, "pqrun: serving /metrics and /debug/perfq on http://%s\n", ln.Addr())
 	}
 	if *cpuProfile != "" || *memProfile != "" {
 		var cpuFile *os.File
@@ -174,6 +215,12 @@ func main() {
 	opts := []perfq.RunOption{perfq.WithCache(*pairs, *ways), perfq.WithShards(*shards)}
 	if fabricTopo != nil {
 		opts = append(opts, perfq.WithFabric(fabricTopo))
+	}
+	if metrics != nil {
+		opts = append(opts, perfq.WithMetrics(metrics))
+	}
+	if *statsEvery > 0 {
+		defer startStatsLogger(metrics, *statsEvery, start)()
 	}
 
 	// -backing / -backing-local: mirror the run's evictions into a
@@ -308,6 +355,44 @@ func main() {
 // finishProfiles flushes active profiles; a no-op unless profiling flags
 // were given. fail routes through it so os.Exit never truncates them.
 var finishProfiles = func() {}
+
+// startStatsLogger emits a one-line summary of the run's headline
+// counters every interval on stderr; the returned func stops it.
+func startStatsLogger(metrics *perfq.Metrics, interval time.Duration, start time.Time) func() {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		last := time.Now()
+		var lastPackets float64
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				now := time.Now()
+				packets, _ := metrics.Value("perfq_packets_total")
+				pps := (packets - lastPackets) / now.Sub(last).Seconds()
+				ev, _ := metrics.Value("perfq_cache_evictions_total")
+				fl, _ := metrics.Value("perfq_cache_flushed_total")
+				line := fmt.Sprintf("pqrun: t=%-8s packets=%.0f pps=%.0f evictions=%.0f flushed=%.0f",
+					time.Since(start).Round(time.Second), packets, pps, ev, fl)
+				if wins, ok := metrics.Value("perfq_windows_closed_total"); ok {
+					line += fmt.Sprintf(" windows=%.0f", wins)
+				}
+				if dropped, ok := metrics.Value("perfq_pool_dropped_total"); ok {
+					line += fmt.Sprintf(" pool_dropped=%.0f", dropped)
+				}
+				fmt.Fprintln(os.Stderr, line)
+				last, lastPackets = now, packets
+			}
+		}
+	}()
+	return func() { close(stop); wg.Wait() }
+}
 
 // splitAddrs parses a comma-separated -backing list, tolerating empty
 // segments and whitespace.

@@ -36,10 +36,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"perfq/internal/compiler"
 	"perfq/internal/exec"
 	"perfq/internal/kvstore"
+	"perfq/internal/obs"
 	"perfq/internal/shard"
 	"perfq/internal/switchsim"
 	"perfq/internal/topo"
@@ -94,6 +96,8 @@ type Fabric struct {
 	// reconciliation).
 	netTabs map[string]*exec.Table
 	netAcc  []Accuracy
+
+	obs *fabObs // fabric-level metric mirrors (nil = off)
 }
 
 // serialPath reports whether records should bypass the pump and be
@@ -109,11 +113,27 @@ func (f *Fabric) serialPath() bool {
 	return f.cfg.Serial || len(f.ids) == 1 || runtime.GOMAXPROCS(0) < 2
 }
 
-// startPump launches the per-switch workers.
+// startPump launches the per-switch workers. With metrics enabled each
+// worker times its batch, then publishes its datapath's mirrors — the
+// worker is the sole owner of that switch's plain counters, so the
+// batch boundary is the race-free publication point.
 func (f *Fabric) startPump() {
 	dps := make([]*switchsim.Datapath, len(f.ids))
 	for i, id := range f.ids {
 		dps[i] = f.dps[id]
+	}
+	if o := f.obs; o != nil {
+		f.pump = shard.NewWorkersObs(len(f.ids), batch, o.tm, func(i int, recs []trace.Record) {
+			t0 := time.Now()
+			dp := dps[i]
+			for j := range recs {
+				dp.Process(&recs[j])
+			}
+			o.swNs[i].Record(uint64(time.Since(t0)))
+			dp.PublishMetrics()
+		})
+		o.pump.Store(f.pump)
+		return
 	}
 	f.pump = shard.NewWorkers(len(f.ids), batch, func(i int, recs []trace.Record) {
 		dp := dps[i]
@@ -145,10 +165,20 @@ func (f *Fabric) Feed(recs []trace.Record) {
 		for i := range recs {
 			f.Process(&recs[i])
 		}
+		f.publishFab()
 		return
 	}
 	if f.pump == nil {
 		f.startPump()
+	}
+	if o := f.obs; o != nil {
+		t0 := time.Now()
+		for i := range recs {
+			f.feed(&recs[i])
+		}
+		o.demuxNs.Record(uint64(time.Since(t0)))
+		f.publishFab()
+		return
 	}
 	for i := range recs {
 		f.feed(&recs[i])
@@ -162,6 +192,7 @@ func (f *Fabric) Sync() {
 	if f.pump != nil {
 		f.pump.Barrier()
 	}
+	f.publishFab()
 }
 
 // EndFeed drains and stops the pump (idempotent; a later Feed restarts
@@ -170,6 +201,10 @@ func (f *Fabric) EndFeed() {
 	if f.pump != nil {
 		f.pump.Close()
 		f.pump = nil
+		if f.obs != nil {
+			f.obs.pump.Store(nil)
+		}
+		f.publishFab()
 	}
 }
 
@@ -216,6 +251,9 @@ func (f *Fabric) CloseWindow(carry bool) (map[string]*exec.Table, []switchsim.Ac
 		} else {
 			dp.ResetWindow()
 		}
+		// Post-barrier the closer owns every switch's counters; refresh
+		// the mirrors so store gauges reflect the boundary.
+		dp.PublishMetrics()
 	}
 	if !carry {
 		// The memoized reconciliation describes the closed window, not the
@@ -246,7 +284,20 @@ func New(plan *compiler.Plan, t *topo.Topology, cfg Config) (*Fabric, error) {
 		plan: plan, topo: t, cfg: cfg, swGeo: swCfg.Geometry,
 		ids: ids, dps: make(map[uint16]*switchsim.Datapath, len(ids)),
 	}
+	if cfg.Switch.Metrics != nil {
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = t.SwitchName(id)
+		}
+		f.obs = newFabObs(cfg.Switch.Metrics, cfg.Switch.MetricsLabels, names)
+	}
 	for _, id := range ids {
+		// Each switch's datapath registers its families under its own
+		// switch label — the /debug/perfq per-switch drill-down.
+		if swCfg.Metrics != nil {
+			swCfg.MetricsLabels = obs.JoinLabels(cfg.Switch.MetricsLabels,
+				`switch="`+t.SwitchName(id)+`"`)
+		}
 		dp, err := switchsim.New(plan, swCfg)
 		if err != nil {
 			return nil, fmt.Errorf("fabric: switch %d (%s): %w", id, t.SwitchName(id), err)
@@ -364,6 +415,7 @@ func (f *Fabric) Flush() {
 		f.dps[id].Flush()
 	}
 	f.netTabs, f.netAcc = nil, nil
+	f.publishFab()
 }
 
 // sources lists the per-switch state sources in switch-ID order — the
@@ -382,7 +434,13 @@ func (f *Fabric) sources() []switchSource {
 // or Flush first). The result is memoized until the next Flush.
 func (f *Fabric) NetworkTables() map[string]*exec.Table {
 	if f.netTabs == nil {
-		f.netTabs, f.netAcc = networkTables(f.plan, f.sources())
+		if f.obs != nil {
+			t0 := time.Now()
+			f.netTabs, f.netAcc = networkTables(f.plan, f.sources())
+			f.obs.mergeNs.Record(uint64(time.Since(t0)))
+		} else {
+			f.netTabs, f.netAcc = networkTables(f.plan, f.sources())
+		}
 	}
 	return f.netTabs
 }

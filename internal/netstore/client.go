@@ -74,6 +74,10 @@ type Options struct {
 	// honor the timeout for the connect itself; the handshake deadline
 	// is applied by the client on the returned conn.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Program selects which of the server's program stores this
+	// connection binds to at HELLO. Program 0 keeps the legacy 12-byte
+	// handshake; > 0 sends the extended 16-byte form.
+	Program int
 }
 
 func (o Options) withDefaults() Options {
@@ -273,10 +277,7 @@ func (c *Client) connect() error {
 	c.bw = bufio.NewWriterSize(conn, 1<<16)
 	c.unacked = 0
 
-	payload := make([]byte, 12)
-	binary.LittleEndian.PutUint32(payload[0:4], Magic)
-	binary.LittleEndian.PutUint32(payload[4:8], Version)
-	binary.LittleEndian.PutUint32(payload[8:12], uint32(c.m))
+	payload := helloPayload(c.m, c.opts.Program)
 	if err := c.writeFrame(opHello, payload); err != nil {
 		return c.connectFailed(err)
 	}

@@ -43,6 +43,8 @@ type backendHealth struct {
 
 	probes   atomic.Uint64
 	failures atomic.Uint64
+	ups      atomic.Uint64 // down→up transitions
+	downs    atomic.Uint64 // up→down transitions
 
 	mu        sync.Mutex
 	lastErr   error
@@ -73,7 +75,11 @@ func (h *backendHealth) state() HealthState {
 
 // markDown forces the backend unhealthy immediately (shipper fault
 // path); the prober brings it back.
-func (h *backendHealth) markDown() { h.healthy.Store(false) }
+func (h *backendHealth) markDown() {
+	if h.healthy.Swap(false) {
+		h.downs.Add(1)
+	}
+}
 
 // observe folds one probe result into the up/down state machine.
 func (h *backendHealth) observe(err error, downAfter, upAfter int) {
@@ -86,23 +92,28 @@ func (h *backendHealth) observe(err error, downAfter, upAfter int) {
 		h.consecOK = 0
 		h.consecBad++
 		if h.consecBad >= downAfter {
-			h.healthy.Store(false)
+			if h.healthy.Swap(false) {
+				h.downs.Add(1)
+			}
 		}
 		return
 	}
 	h.consecBad = 0
 	h.consecOK++
 	if h.consecOK >= upAfter {
-		if !h.healthy.Swap(true) && h.onUp != nil {
-			h.onUp()
+		if !h.healthy.Swap(true) {
+			h.ups.Add(1)
+			if h.onUp != nil {
+				h.onUp()
+			}
 		}
 	}
 }
 
 // probeBackend dials, performs the HELLO handshake, and closes — the
 // cheapest request that proves the peer is a live netstore for this
-// fold's state width. The whole exchange is bounded by timeout.
-func probeBackend(dialer func(string, time.Duration) (net.Conn, error), addr string, m int, timeout time.Duration) error {
+// program's state width. The whole exchange is bounded by timeout.
+func probeBackend(dialer func(string, time.Duration) (net.Conn, error), addr string, m, prog int, timeout time.Duration) error {
 	conn, err := dialer(addr, timeout)
 	if err != nil {
 		return err
@@ -110,13 +121,12 @@ func probeBackend(dialer func(string, time.Duration) (net.Conn, error), addr str
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(timeout))
 
-	var frame [17]byte // 5-byte header + 12-byte hello payload
-	binary.LittleEndian.PutUint32(frame[0:4], 13)
+	payload := helloPayload(m, prog)
+	frame := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(1+len(payload)))
 	frame[4] = opHello
-	binary.LittleEndian.PutUint32(frame[5:9], Magic)
-	binary.LittleEndian.PutUint32(frame[9:13], Version)
-	binary.LittleEndian.PutUint32(frame[13:17], uint32(m))
-	if _, err := conn.Write(frame[:]); err != nil {
+	copy(frame[5:], payload)
+	if _, err := conn.Write(frame); err != nil {
 		return err
 	}
 	var resp [5]byte
@@ -133,6 +143,7 @@ func probeBackend(dialer func(string, time.Duration) (net.Conn, error), addr str
 type prober struct {
 	h         *backendHealth
 	m         int
+	prog      int
 	interval  time.Duration
 	timeout   time.Duration
 	downAfter int
@@ -154,7 +165,7 @@ func (p *prober) start() {
 			case <-p.stop:
 				return
 			case <-t.C:
-				p.h.observe(probeBackend(p.dialer, p.h.addr, p.m, p.timeout), p.downAfter, p.upAfter)
+				p.h.observe(probeBackend(p.dialer, p.h.addr, p.m, p.prog, p.timeout), p.downAfter, p.upAfter)
 			}
 		}
 	}()
@@ -163,7 +174,7 @@ func (p *prober) start() {
 // probeOnce runs one synchronous probe (pool startup, so initial health
 // reflects reality before the first eviction routes).
 func (p *prober) probeOnce() {
-	p.h.observe(probeBackend(p.dialer, p.h.addr, p.m, p.timeout), p.downAfter, p.upAfter)
+	p.h.observe(probeBackend(p.dialer, p.h.addr, p.m, p.prog, p.timeout), p.downAfter, p.upAfter)
 }
 
 func (p *prober) close() {

@@ -28,7 +28,7 @@ const (
 	Version = 1
 
 	// Ops.
-	opHello   = 1 // client → server: magic, version, state length m
+	opHello   = 1 // client → server: magic, version, state length m [, program]
 	opMerge   = 2 // eviction with linear merge payload: state, P, first record
 	opAppend  = 3 // eviction without merge payload: state (epoch semantics)
 	opCombine = 4 // eviction for associative folds: state
@@ -50,11 +50,30 @@ var (
 	ErrBadFrame   = errors.New("netstore: malformed frame")
 	ErrBadVersion = errors.New("netstore: protocol version mismatch")
 	ErrStateLen   = errors.New("netstore: state length mismatch")
+	ErrBadProgram = errors.New("netstore: unknown program index")
 	ErrTooLarge   = errors.New("netstore: frame exceeds limit")
 )
 
 // maxFrame bounds a frame (16B key + 8·(m + m² ) + record ≪ 4 KiB).
 const maxFrame = 4096
+
+// helloPayload builds the HELLO body: the legacy 12-byte form for
+// program 0 (wire-compatible with pre-multi-program servers), the
+// 16-byte extended form otherwise.
+func helloPayload(m, prog int) []byte {
+	n := 12
+	if prog > 0 {
+		n = 16
+	}
+	p := make([]byte, n)
+	binary.LittleEndian.PutUint32(p[0:4], Magic)
+	binary.LittleEndian.PutUint32(p[4:8], Version)
+	binary.LittleEndian.PutUint32(p[8:12], uint32(m))
+	if prog > 0 {
+		binary.LittleEndian.PutUint32(p[12:16], uint32(prog))
+	}
+	return p
+}
 
 // putFloats appends IEEE-754 little-endian float64s.
 func putFloats(b []byte, vals []float64) []byte {

@@ -142,7 +142,7 @@ func DialPool(addrs []string, f *fold.Func, cfg PoolConfig) (*Pool, error) {
 			}
 		})
 		b.probe = &prober{
-			h: b.health, m: p.m,
+			h: b.health, m: p.m, prog: opts.Program,
 			interval: cfg.ProbeInterval, timeout: opts.DialTimeout,
 			downAfter: cfg.DownAfter, upAfter: cfg.UpAfter,
 			dialer: opts.Dialer,

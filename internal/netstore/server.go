@@ -15,13 +15,16 @@ import (
 	"perfq/internal/kvstore"
 )
 
-// Server hosts a backing store for one query's fold over TCP.
+// Server hosts the backing stores of one query's switch programs over
+// TCP — one store per program fold. A connection binds to a program at
+// HELLO (legacy 12-byte HELLOs bind to program 0) and every subsequent
+// op on it targets that program's store.
 type Server struct {
-	f  *fold.Func
+	fs []*fold.Func
 	ln net.Listener
 
-	mu    sync.Mutex
-	store *backing.Store
+	mu     sync.Mutex // guards every store (ops are cross-program serialized)
+	stores []*backing.Store
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -31,20 +34,27 @@ type Server struct {
 	logf   func(format string, args ...interface{})
 }
 
-// NewServer listens on addr (e.g. "127.0.0.1:0") and serves the fold's
-// backing store. Use Addr to discover the bound address.
-func NewServer(addr string, f *fold.Func) (*Server, error) {
+// NewServer listens on addr (e.g. "127.0.0.1:0") and serves one
+// backing store per fold, indexed by position (program index). At
+// least one fold is required. Use Addr to discover the bound address.
+func NewServer(addr string, folds ...*fold.Func) (*Server, error) {
+	if len(folds) == 0 {
+		return nil, fmt.Errorf("netstore: server needs at least one fold")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		f:      f,
+		fs:     folds,
 		ln:     ln,
-		store:  backing.New(f),
+		stores: make([]*backing.Store, len(folds)),
 		conns:  make(map[net.Conn]struct{}),
 		closed: make(chan struct{}),
 		logf:   func(string, ...interface{}) {},
+	}
+	for i, f := range folds {
+		s.stores[i] = backing.New(f)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -98,9 +108,20 @@ func (s *Server) untrack(conn net.Conn) {
 	s.connMu.Unlock()
 }
 
-// Store exposes the underlying store for in-process inspection (tests and
+// Store exposes program 0's store for in-process inspection (tests and
 // the collector when co-located).
-func (s *Server) Store() *backing.Store { return s.store }
+func (s *Server) Store() *backing.Store { return s.stores[0] }
+
+// StoreFor exposes program i's store (nil when out of range).
+func (s *Server) StoreFor(i int) *backing.Store {
+	if i < 0 || i >= len(s.stores) {
+		return nil
+	}
+	return s.stores[i]
+}
+
+// Programs returns how many program stores the server hosts.
+func (s *Server) Programs() int { return len(s.stores) }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -135,7 +156,10 @@ func (s *Server) serve(conn net.Conn) error {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	m := s.f.StateLen()
+	// The connection binds to a program (store + state width) at HELLO;
+	// until then the defaults are never used (HELLO must come first).
+	store := s.stores[0]
+	m := s.fs[0].StateLen()
 
 	var hdr [5]byte
 	frame := make([]byte, 0, maxFrame)
@@ -177,7 +201,14 @@ func (s *Server) serve(conn net.Conn) error {
 
 		switch op {
 		case opHello:
-			if len(frame) != 12 {
+			// Legacy 12-byte HELLO binds program 0; the 16-byte form adds
+			// the program index. Both are accepted forever.
+			prog := 0
+			switch len(frame) {
+			case 12:
+			case 16:
+				prog = int(binary.LittleEndian.Uint32(frame[12:16]))
+			default:
 				return ErrBadFrame
 			}
 			if binary.LittleEndian.Uint32(frame[0:4]) != Magic {
@@ -187,6 +218,13 @@ func (s *Server) serve(conn net.Conn) error {
 				respond(StatusErr, nil)
 				return ErrBadVersion
 			}
+			if prog < 0 || prog >= len(s.fs) {
+				respond(StatusErr, nil)
+				return fmt.Errorf("%w: program %d, server has %d",
+					ErrBadProgram, prog, len(s.fs))
+			}
+			store = s.stores[prog]
+			m = s.fs[prog].StateLen()
 			if int(binary.LittleEndian.Uint32(frame[8:12])) != m {
 				respond(StatusErr, nil)
 				return fmt.Errorf("%w: client %d, server %d",
@@ -207,7 +245,7 @@ func (s *Server) serve(conn net.Conn) error {
 				kev.FirstRec = ev.rec
 			}
 			s.mu.Lock()
-			s.store.HandleEviction(&kev)
+			store.HandleEviction(&kev)
 			s.mu.Unlock()
 			// Fire-and-forget: no response.
 
@@ -218,10 +256,10 @@ func (s *Server) serve(conn net.Conn) error {
 			var key [16]byte
 			copy(key[:], frame)
 			s.mu.Lock()
-			state, ok := s.store.Get(key)
+			state, ok := store.Get(key)
 			var valid bool
 			if !ok {
-				valid = s.store.Len() > 0 // distinguish below
+				valid = store.Len() > 0 // distinguish below
 			}
 			var payload []byte
 			status := byte(StatusNotFound)
@@ -229,7 +267,7 @@ func (s *Server) serve(conn net.Conn) error {
 				status = StatusOK
 				payload = putFloats(getBuf[:0], state)
 				getBuf = payload
-			} else if len(s.store.Epochs(key)) > 1 {
+			} else if len(store.Epochs(key)) > 1 {
 				status = StatusInvalid
 			}
 			s.mu.Unlock()
@@ -245,8 +283,8 @@ func (s *Server) serve(conn net.Conn) error {
 
 		case opStats:
 			s.mu.Lock()
-			st := s.store.Stats()
-			valid, total := s.store.Accuracy()
+			st := store.Stats()
+			valid, total := store.Accuracy()
 			s.mu.Unlock()
 			payload := make([]byte, 40)
 			binary.LittleEndian.PutUint64(payload[0:8], uint64(st.Keys))
@@ -260,7 +298,7 @@ func (s *Server) serve(conn net.Conn) error {
 
 		case opReset:
 			s.mu.Lock()
-			s.store.Reset()
+			store.Reset()
 			s.mu.Unlock()
 			if err := respond(StatusOK, nil); err != nil {
 				return err

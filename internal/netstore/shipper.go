@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"perfq/internal/obs"
 )
 
 // This file is the bounded async eviction path of the backing pool: a
@@ -196,6 +198,8 @@ type Shipper struct {
 
 	offered   atomic.Uint64
 	shipDrops atomic.Uint64 // breaker/backoff/write-failure drops
+	faults    atomic.Uint64 // failed ships + failed syncs
+	syncNs    obs.Hist      // sync barrier round-trip wall time
 
 	// onFault, when set, is called on the shipper goroutine after a
 	// failed ship or sync (the pool uses it to mark the backend down
@@ -253,6 +257,7 @@ func (s *Shipper) run() {
 			// Backoff/breaker refusal or a double write failure: the
 			// eviction is dropped, never silently retried.
 			s.shipDrops.Add(1)
+			s.faults.Add(1)
 			if s.onFault != nil {
 				s.onFault()
 			}
@@ -273,8 +278,14 @@ func (s *Shipper) syncBatch(inflight *int) {
 	if *inflight == 0 {
 		return
 	}
-	if err := s.cl.Sync(); err != nil && s.onFault != nil {
-		s.onFault()
+	t0 := time.Now()
+	err := s.cl.Sync()
+	s.syncNs.Record(uint64(time.Since(t0)))
+	if err != nil {
+		s.faults.Add(1)
+		if s.onFault != nil {
+			s.onFault()
+		}
 	}
 	*inflight = 0
 }

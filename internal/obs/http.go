@@ -1,0 +1,36 @@
+package obs
+
+import "net/http"
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics      Prometheus text exposition
+//	/debug/perfq  JSON snapshot with per-switch / per-backend drill-down
+//
+// extra, when non-nil, is called per /debug/perfq request and its
+// result marshaled under "extra" (pqrun uses it for run-level context
+// like the query text and flag settings).
+func (r *Registry) Handler(extra func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/perfq", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var ex any
+		if extra != nil {
+			ex = extra()
+		}
+		r.WriteJSON(w, ex)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("perfq metrics\n\n/metrics      Prometheus text\n/debug/perfq  JSON snapshot\n"))
+	})
+	return mux
+}

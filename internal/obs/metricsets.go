@@ -1,0 +1,114 @@
+package obs
+
+// Pre-shaped metric sets for the two subsystems whose instrumentation
+// is owned by internal packages (shard transport, window runtime), so
+// those packages depend only on obs and the registry wiring happens
+// once at the layer that owns the Registry.
+
+// TransportMetrics instruments one shard.Workers ring transport:
+// producer/consumer park+wake counts (the contention signal), consumed
+// batch counts/sizes, and a batch-size histogram per worker, merged at
+// read time. All fields are striped per worker, so recording from
+// worker goroutines never contends.
+type TransportMetrics struct {
+	ProdParks *Counter // producer blocked on a full ring
+	ConsParks *Counter // consumer blocked on an empty ring
+	ProdWakes *Counter // producer wakes issued by the consumer
+	ConsWakes *Counter // consumer wakes issued by the producer
+	Batches   *Counter // slots consumed
+	Items     *Counter // items consumed
+	hists     []Hist   // per-worker batch-size histograms
+}
+
+// NewTransportMetrics sizes every stripe for n workers.
+func NewTransportMetrics(n int) *TransportMetrics {
+	if n < 1 {
+		n = 1
+	}
+	return &TransportMetrics{
+		ProdParks: NewCounter(n),
+		ConsParks: NewCounter(n),
+		ProdWakes: NewCounter(n),
+		ConsWakes: NewCounter(n),
+		Batches:   NewCounter(n),
+		Items:     NewCounter(n),
+		hists:     make([]Hist, n),
+	}
+}
+
+// RecordBatch notes one consumed slot of n items on worker w.
+func (m *TransportMetrics) RecordBatch(w, n int) {
+	m.Batches.Inc(w)
+	m.Items.Add(w, uint64(n))
+	m.hists[w].Record(uint64(n))
+}
+
+// BatchSnapshot merges the per-worker batch-size histograms into s.
+func (m *TransportMetrics) BatchSnapshot(s *HistSnap) {
+	s.Reset()
+	for i := range m.hists {
+		s.Accumulate(&m.hists[i])
+	}
+}
+
+// Register wires the transport families into r under the given label
+// fragment (e.g. `transport="shards"`). occupancy, when non-nil, is
+// sampled at scrape time (ring slots currently in flight).
+func (m *TransportMetrics) Register(r *Registry, labels string, occupancy func() int) {
+	r.CounterVal("perfq_transport_producer_parks_total",
+		"Producer blocked waiting for ring space", labels, m.ProdParks)
+	r.CounterVal("perfq_transport_consumer_parks_total",
+		"Consumer blocked waiting for ring items", labels, m.ConsParks)
+	r.CounterVal("perfq_transport_producer_wakes_total",
+		"Producer park wakeups issued", labels, m.ProdWakes)
+	r.CounterVal("perfq_transport_consumer_wakes_total",
+		"Consumer park wakeups issued", labels, m.ConsWakes)
+	r.CounterVal("perfq_transport_batches_total",
+		"Ring slots consumed", labels, m.Batches)
+	r.CounterVal("perfq_transport_items_total",
+		"Items consumed off the rings", labels, m.Items)
+	r.Hist("perfq_transport_batch_size",
+		"Items per consumed ring slot", labels, m.BatchSnapshot)
+	if occupancy != nil {
+		r.Gauge("perfq_transport_occupancy_slots",
+			"Ring slots currently occupied across workers", labels,
+			func() float64 { return float64(occupancy()) })
+	}
+}
+
+// WindowMetrics instruments the window runtime: close latency, close
+// and empty-window counts, and the per-window valid-key stability
+// series (PASTRAMI-style result stability, not just point accuracy).
+type WindowMetrics struct {
+	CloseNs   Hist // CloseWindow wall time per window
+	Closed    *Counter
+	Empty     *Counter // windows closed with zero records
+	Dropped   *Counter // windows evicted from the keep-ring
+	Stability *Series  // valid-key fraction per closed window
+}
+
+// NewWindowMetrics keeps the last keep stability observations.
+func NewWindowMetrics(keep int) *WindowMetrics {
+	return &WindowMetrics{
+		Closed:    NewCounter(1),
+		Empty:     NewCounter(1),
+		Dropped:   NewCounter(1),
+		Stability: NewSeries(keep),
+	}
+}
+
+// Register wires the window families into r.
+func (m *WindowMetrics) Register(r *Registry, labels string) {
+	r.HistVal("perfq_window_close_ns",
+		"Window close latency (sync+flush+collect), nanoseconds", labels, &m.CloseNs)
+	r.CounterVal("perfq_windows_closed_total",
+		"Windows closed", labels, m.Closed)
+	r.CounterVal("perfq_windows_empty_total",
+		"Windows closed with no records", labels, m.Empty)
+	r.CounterVal("perfq_windows_dropped_total",
+		"Closed windows evicted from the retention ring", labels, m.Dropped)
+	r.Gauge("perfq_window_stability",
+		"Valid-key fraction of the most recently closed window", labels, m.Stability.Last)
+	r.Gauge("perfq_window_stability_mean",
+		"Mean valid-key fraction over retained windows", labels, m.Stability.Mean)
+}

@@ -3,6 +3,8 @@ package shard
 import (
 	"runtime"
 	"sync/atomic"
+
+	"perfq/internal/obs"
 )
 
 // This file is the transport under Workers: one bounded single-producer
@@ -71,14 +73,23 @@ type ring[T any] struct {
 	// buf is the producer's view of the unpublished slot's buffer (nil
 	// when no slot is acquired). Producer-only.
 	buf []T
+
+	// tm/widx, when set, count park/wake events for this ring. All
+	// recording sits on the park slow paths, never the fast publish /
+	// release edges, so an instrumented ring costs one nil-check per
+	// wake and nothing per batch.
+	tm   *obs.TransportMetrics
+	widx int
 }
 
-func newRing[T any](depth, batch int) *ring[T] {
+func newRing[T any](depth, batch int, tm *obs.TransportMetrics, widx int) *ring[T] {
 	r := &ring[T]{
 		slots:    make([]slot[T], depth),
 		mask:     uint64(depth - 1),
 		prodPark: make(chan struct{}, 1),
 		consPark: make(chan struct{}, 1),
+		tm:       tm,
+		widx:     widx,
 	}
 	for i := range r.slots {
 		r.slots[i].items = make([]T, 0, batch)
@@ -117,6 +128,9 @@ func (r *ring[T]) waitNotFull(t uint64) {
 				r.prodWait.Store(false)
 				return
 			}
+			if r.tm != nil {
+				r.tm.ProdParks.Inc(r.widx)
+			}
 			<-r.prodPark
 			spin = 0
 		}
@@ -132,6 +146,9 @@ func (r *ring[T]) publish(kind uint8) {
 	r.buf = nil
 	r.tail.Store(t + 1)
 	if r.consWait.Swap(false) {
+		if r.tm != nil {
+			r.tm.ConsWakes.Inc(r.widx)
+		}
 		select {
 		case r.consPark <- struct{}{}:
 		default:
@@ -166,6 +183,9 @@ func (r *ring[T]) waitNotEmpty(h uint64) {
 				r.consWait.Store(false)
 				return
 			}
+			if r.tm != nil {
+				r.tm.ConsParks.Inc(r.widx)
+			}
 			<-r.consPark
 			spin = 0
 		}
@@ -176,9 +196,18 @@ func (r *ring[T]) waitNotEmpty(h uint64) {
 func (r *ring[T]) release() {
 	r.head.Store(r.head.Load() + 1)
 	if r.prodWait.Swap(false) {
+		if r.tm != nil {
+			r.tm.ProdWakes.Inc(r.widx)
+		}
 		select {
 		case r.prodPark <- struct{}{}:
 		default:
 		}
 	}
+}
+
+// occupancy is the number of published-but-unreleased slots, sampled
+// racily (scrape-time gauge, exactness not required).
+func (r *ring[T]) occupancy() int {
+	return int(r.tail.Load() - r.head.Load())
 }

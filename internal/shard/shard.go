@@ -25,6 +25,7 @@ package shard
 import (
 	"io"
 
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 	"perfq/internal/trace"
 )
@@ -70,6 +71,15 @@ type Config struct {
 	// FreeMask is OR-ed into one round-robin-chosen shard's mask for
 	// every record — the bits of order-insensitive targets.
 	FreeMask uint64
+
+	// Obs, when non-nil (sized for Shards workers), instruments the
+	// ring transport: batch-size histogram, park/wake counts. Nil means
+	// fully uninstrumented (one nil branch per batch).
+	Obs *obs.TransportMetrics
+	// AfterBatch, when non-nil, runs on the worker goroutine after each
+	// consumed batch — the datapath's hook for publishing its plain
+	// per-shard counters into atomic mirrors at batch granularity.
+	AfterBatch func(worker int)
 }
 
 // Index maps a partition key to a shard in [0, n). The key's Hash is
@@ -165,13 +175,24 @@ func NewPool(cfg Config, process ProcessFunc) *Pool {
 	router := NewRouter(cfg)
 	n := router.Shards()
 	p := &Pool{router: router, masks: make([]uint64, n)}
-	p.workers = NewWorkers(n, cfg.Batch, func(s int, items []Item) {
+	after := cfg.AfterBatch
+	p.workers = NewWorkersObs(n, cfg.Batch, cfg.Obs, func(s int, items []Item) {
 		for i := range items {
 			process(s, &items[i].Rec, items[i].Mask)
+		}
+		if after != nil {
+			after(s)
 		}
 	})
 	return p
 }
+
+// Transport returns the pool's transport metrics (nil when Config.Obs
+// was nil).
+func (p *Pool) Transport() *obs.TransportMetrics { return p.workers.Metrics() }
+
+// Occupancy is the pool's current ring backlog in slots (racy gauge).
+func (p *Pool) Occupancy() int { return p.workers.Occupancy() }
 
 // Shards returns the worker count.
 func (p *Pool) Shards() int { return p.router.Shards() }

@@ -1,6 +1,10 @@
 package shard
 
-import "sync"
+import (
+	"sync"
+
+	"perfq/internal/obs"
+)
 
 // Workers moves batched items from a single feeder to one goroutine per
 // worker — the transport shared by the key-hash sharded Pool and the
@@ -15,6 +19,7 @@ import "sync"
 // windowed runtime.
 type Workers[T any] struct {
 	rings []*ring[T]
+	tm    *obs.TransportMetrics
 	wg    sync.WaitGroup
 	bar   sync.WaitGroup
 }
@@ -23,12 +28,21 @@ type Workers[T any] struct {
 // batches through process (called with the worker's index). batch <= 0
 // selects DefaultBatch; each ring holds ringDepth batch slots.
 func NewWorkers[T any](n, batch int, process func(worker int, items []T)) *Workers[T] {
+	return NewWorkersObs(n, batch, nil, process)
+}
+
+// NewWorkersObs is NewWorkers with transport instrumentation: when tm
+// is non-nil (sized for n workers), every consumed batch records its
+// size and the rings count park/wake events. Instrumentation sits on
+// the per-batch and park slow paths only — a nil tm costs one
+// predictable branch per batch, nothing per item.
+func NewWorkersObs[T any](n, batch int, tm *obs.TransportMetrics, process func(worker int, items []T)) *Workers[T] {
 	if batch <= 0 {
 		batch = DefaultBatch
 	}
-	w := &Workers[T]{rings: make([]*ring[T], n)}
+	w := &Workers[T]{rings: make([]*ring[T], n), tm: tm}
 	for i := 0; i < n; i++ {
-		r := newRing[T](ringDepth, batch)
+		r := newRing[T](ringDepth, batch, tm, i)
 		w.rings[i] = r
 		w.wg.Add(1)
 		go func(i int, r *ring[T]) {
@@ -38,6 +52,9 @@ func NewWorkers[T any](n, batch int, process func(worker int, items []T)) *Worke
 				switch s.kind {
 				case slotBatch:
 					process(i, s.items)
+					if tm != nil {
+						tm.RecordBatch(i, len(s.items))
+					}
 					r.release()
 				case slotBarrier:
 					r.release()
@@ -50,6 +67,20 @@ func NewWorkers[T any](n, batch int, process func(worker int, items []T)) *Worke
 		}(i, r)
 	}
 	return w
+}
+
+// Metrics returns the transport metrics wired at construction (nil for
+// uninstrumented Workers).
+func (w *Workers[T]) Metrics() *obs.TransportMetrics { return w.tm }
+
+// Occupancy sums the published-but-unprocessed slots across rings — a
+// racy scrape-time backlog gauge in slot units.
+func (w *Workers[T]) Occupancy() int {
+	var n int
+	for _, r := range w.rings {
+		n += r.occupancy()
+	}
+	return n
 }
 
 // Feed appends item to worker's pending batch slot, publishing it when

@@ -47,7 +47,7 @@ func TestWorkersBarrierPartialBatch(t *testing.T) {
 	fed := 0
 	feed := func(n int) {
 		for i := 0; i < n; i++ {
-			w.Feed(fed % 3, fed)
+			w.Feed(fed%3, fed)
 			fed++
 		}
 	}

@@ -31,6 +31,17 @@ func (sh *shardState) processBlocks(d *Datapath, recs []trace.Record) {
 			n = fold.BlockSize
 		}
 		sh.processBlock(d, recs[base:base+n])
+		sh.nBlockRecs += uint64(n)
+		if d.obs != nil {
+			// Refresh the atomic mirrors every pubBlocks blocks so a
+			// scraper sees live progress mid-window; the block path only
+			// runs on the single-owner shard 0.
+			if sh.sincePub++; sh.sincePub >= pubBlocks {
+				sh.sincePub = 0
+				d.publishShard(0)
+				d.publishPackets()
+			}
+		}
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"perfq/internal/exec"
 	"perfq/internal/fold"
 	"perfq/internal/kvstore"
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 	"perfq/internal/shard"
 	"perfq/internal/trace"
@@ -65,6 +66,14 @@ type Config struct {
 	// ShardBatch overrides the records-per-batch granularity of the
 	// sharded router (0 selects shard.DefaultBatch). Exposed for tests.
 	ShardBatch int
+	// Metrics, when non-nil, registers this datapath's metric families
+	// (packets, path mix, per-program cache/store counters, transport)
+	// into the registry. The hot loop is untouched: plain counters are
+	// mirrored into atomic cells at batch boundaries (see metrics.go).
+	Metrics *obs.Registry
+	// MetricsLabels is the label fragment prefixed to every series this
+	// datapath registers (the fabric sets `switch="name"`).
+	MetricsLabels string
 }
 
 // progState is one physical key-value store instance, owned by exactly
@@ -87,6 +96,12 @@ type shardState struct {
 	progs   []*progState
 	selRows [][][]float64
 	scratch shardScratch
+
+	// Plain path-mix counters, owned by the shard's processing
+	// goroutine and mirrored by publishShard at batch boundaries.
+	nBlockRecs  uint64
+	nScalarRecs uint64
+	sincePub    int // blocks since the last periodic publish
 }
 
 // Datapath executes a plan's switch-resident stages.
@@ -103,6 +118,8 @@ type Datapath struct {
 
 	accBuf []Acc         // CloseWindow's reused accuracy snapshot (borrowed by callers)
 	tscr   tablesScratch // Tables' reused materialization scratch
+
+	obs *dpObs // atomic mirrors for the metrics registry (nil = off)
 }
 
 // newShardState builds one shard's stores for the plan.
@@ -183,6 +200,20 @@ func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
 	d.routing = d.hot.routing(n, cfg.ShardBatch)
 	d.router = shard.NewRouter(d.routing)
 	d.masks = make([]uint64, n)
+	if cfg.Metrics != nil {
+		d.obs = newDpObs(cfg.Metrics, cfg.MetricsLabels, n, len(plan.Programs))
+		d.routing.Obs = obs.NewTransportMetrics(n)
+		d.routing.AfterBatch = d.publishShard
+		o := d.obs
+		d.routing.Obs.Register(cfg.Metrics,
+			obs.JoinLabels(cfg.MetricsLabels, `transport="shards"`),
+			func() int {
+				if p := o.pool.Load(); p != nil {
+					return p.Occupancy()
+				}
+				return 0
+			})
+	}
 	return d, nil
 }
 
@@ -204,6 +235,7 @@ func (d *Datapath) Packets() uint64 { return d.packets }
 // retain (mirrored SELECT output, digest-key component values) come from
 // a chunked slab.
 func (sh *shardState) process(d *Datapath, rec *trace.Record, mask uint64, all bool) {
+	sh.nScalarRecs++
 	hp := d.hot
 	sc := &sh.scratch
 	sc.in.Rec = rec
@@ -367,6 +399,15 @@ func (d *Datapath) Run(src trace.Source) error {
 	return nil
 }
 
+// publishAll mirrors everything when the caller owns the datapath (no
+// live pool, or just past a barrier). Used at the synchronization
+// edges of every path.
+func (d *Datapath) publishAll() {
+	if d.obs != nil {
+		d.PublishMetrics()
+	}
+}
+
 // Flush evicts all cache-resident entries into the backing stores (end of
 // a measurement window, or the paper's periodic refresh).
 func (d *Datapath) Flush() {
@@ -375,6 +416,9 @@ func (d *Datapath) Flush() {
 			ps.cache.Flush()
 		}
 	}
+	// Flush already requires sole ownership of the caches (sharded
+	// callers sync first), so the mirrors can be refreshed wholesale.
+	d.publishAll()
 }
 
 // Feed processes a run of records without ending the window — the
@@ -390,6 +434,7 @@ func (d *Datapath) Feed(recs []trace.Record) {
 	d.packets += uint64(len(recs))
 	if len(d.shards) == 1 {
 		d.shards[0].processBlocks(d, recs)
+		d.publishPackets()
 		return
 	}
 	if d.serialFeed() {
@@ -402,16 +447,21 @@ func (d *Datapath) Feed(recs []trace.Record) {
 				}
 			}
 		}
+		d.publishPackets()
 		return
 	}
 	if d.pool == nil {
 		d.pool = shard.NewPool(d.routing, func(s int, rec *trace.Record, mask uint64) {
 			d.shards[s].process(d, rec, mask, false)
 		})
+		if d.obs != nil {
+			d.obs.pool.Store(d.pool)
+		}
 	}
 	for i := range recs {
 		d.pool.Feed(&recs[i])
 	}
+	d.publishPackets()
 }
 
 // Sync blocks until every record handed to Feed has been applied to its
@@ -421,6 +471,10 @@ func (d *Datapath) Sync() {
 	if d.pool != nil {
 		d.pool.Barrier()
 	}
+	// Past the barrier the feeder owns every shard's plain counters
+	// (happens-before via the barrier WaitGroup), so refresh the
+	// mirrors wholesale — the consistency point the scrape tests pin.
+	d.publishAll()
 }
 
 // EndFeed stops the streaming worker pool (idempotent; a later Feed
@@ -429,6 +483,10 @@ func (d *Datapath) EndFeed() {
 	if d.pool != nil {
 		d.pool.Close()
 		d.pool = nil
+		if d.obs != nil {
+			d.obs.pool.Store(nil)
+		}
+		d.publishAll()
 	}
 }
 
@@ -478,6 +536,9 @@ func (d *Datapath) CloseWindow(carry bool) (map[string]*exec.Table, []Acc, error
 	} else {
 		d.ResetWindow()
 	}
+	// Re-publish after the boundary so the store-keys gauge reflects
+	// the reset rather than the pre-close state until the next batch.
+	d.publishAll()
 	return tables, acc, nil
 }
 

@@ -36,8 +36,10 @@ package window
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"perfq/internal/exec"
+	"perfq/internal/obs"
 	"perfq/internal/switchsim"
 	"perfq/internal/trace"
 )
@@ -55,6 +57,10 @@ type Spec struct {
 	// Carry selects carry-over boundaries (state persists, windows are
 	// cumulative) instead of the default tumbling reset.
 	Carry bool
+	// Obs, when non-nil, instruments the schedule: close latency
+	// histogram, closed/empty window counts. Recording happens once per
+	// window close, never per record.
+	Obs *obs.WindowMetrics
 }
 
 // Validate rejects unusable specs.
@@ -211,9 +217,16 @@ func (s *scheduler) closeTo(target int64) error {
 				acc[i] = a
 			}
 		} else {
+			var t0 time.Time
+			if s.spec.Obs != nil {
+				t0 = time.Now()
+			}
 			tables, acc, err = s.r.CloseWindow(s.spec.Carry)
 			if err != nil {
 				return err
+			}
+			if s.spec.Obs != nil {
+				s.spec.Obs.CloseNs.Record(uint64(time.Since(t0)))
 			}
 			// The runner's acc is borrowed until its next close; the Result
 			// outlives that (emit retains it, and prev feeds empty
@@ -229,6 +242,12 @@ func (s *scheduler) closeTo(target int64) error {
 		if s.spec.IntervalNs > 0 {
 			res.StartNs = s.c.origin + s.closed*s.spec.IntervalNs
 			res.EndNs = res.StartNs + s.spec.IntervalNs
+		}
+		if m := s.spec.Obs; m != nil {
+			m.Closed.Inc(0)
+			if s.winRecs == 0 {
+				m.Empty.Inc(0)
+			}
 		}
 		s.winRecs = 0
 		s.closed++

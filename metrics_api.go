@@ -1,0 +1,54 @@
+package perfq
+
+import (
+	"io"
+	"net/http"
+
+	"perfq/internal/obs"
+)
+
+// Metrics is a handle on a run's observability registry — the unified
+// surface over every instrumented layer: datapath packet/path/cache/
+// store counters (per switch under WithFabric), shard-transport ring
+// stats, window-runtime close latencies and stability, and backing-pool
+// health when a pool is attached. Build one with NewMetrics, pass it to
+// a run via WithMetrics, and scrape it while the run is live: the hot
+// path keeps plain counters and mirrors them at batch boundaries, so an
+// attached registry costs the datapath nothing per record.
+//
+// One Metrics may serve many runs (registration is idempotent); the
+// families reflect whichever run is currently wired to the registry.
+type Metrics struct {
+	reg *obs.Registry
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics { return &Metrics{reg: obs.NewRegistry()} }
+
+// Handler serves the live surface: /metrics (Prometheus text
+// exposition), /debug/perfq (JSON drill-down, per-switch and
+// per-backend series split out by label). extra, when non-nil, is
+// invoked per /debug/perfq request and marshaled under "extra" —
+// pqrun uses it for the run's own status block.
+func (m *Metrics) Handler(extra func() any) http.Handler {
+	return m.reg.Handler(extra)
+}
+
+// WritePrometheus renders every family in Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
+}
+
+// Value sums a metric family's series by name — e.g.
+// Value("perfq_packets_total"). The second return is false for
+// unregistered names.
+func (m *Metrics) Value(name string) (float64, bool) {
+	return m.reg.Value(name)
+}
+
+// WithMetrics attaches the registry to a run: every layer the run
+// touches registers and feeds its families. Safe to reuse across
+// sequential runs.
+func WithMetrics(m *Metrics) RunOption {
+	return func(c *runConfig) { c.metrics = m.reg }
+}

@@ -2,11 +2,13 @@ package perfq
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"perfq/internal/fold"
 	"perfq/internal/kvstore"
 	"perfq/internal/netstore"
+	"perfq/internal/obs"
 )
 
 // BackingServer is a standalone TCP backing store serving the query's
@@ -17,18 +19,23 @@ type BackingServer struct {
 	f   *fold.Func
 }
 
-// ServeBackingStore starts a TCP backing store for the query's first
-// switch program on addr (use ":0" for an ephemeral port).
+// ServeBackingStore starts a TCP backing store on addr (use ":0" for
+// an ephemeral port) hosting one store per switch program of the
+// query. Legacy clients (12-byte HELLO) bind program 0; program-aware
+// clients select their store at handshake.
 func (q *Query) ServeBackingStore(addr string) (*BackingServer, error) {
 	if len(q.plan.Programs) == 0 {
 		return nil, fmt.Errorf("perfq: query has no switch-resident aggregation to back")
 	}
-	f := q.plan.Programs[0].Fold
-	srv, err := netstore.NewServer(addr, f)
+	folds := make([]*fold.Func, len(q.plan.Programs))
+	for i, prog := range q.plan.Programs {
+		folds[i] = prog.Fold
+	}
+	srv, err := netstore.NewServer(addr, folds...)
 	if err != nil {
 		return nil, err
 	}
-	return &BackingServer{srv: srv, f: f}, nil
+	return &BackingServer{srv: srv, f: folds[0]}, nil
 }
 
 // Addr returns the bound listen address.
@@ -112,11 +119,14 @@ func (c *BackingCluster) Close() error {
 // resilient pool of backing stores: keys partition across backends by
 // rendezvous hashing, each backend gets health probes plus a bounded
 // async eviction queue, and a dead backend degrades accuracy (counted
-// in DroppedEvictions) instead of stalling the datapath. It is the
-// client side of the elastic backing tier; pair it with WithBackingPool
-// to tap a run's evictions.
+// in DroppedEvictions) instead of stalling the datapath. Every switch
+// program gets its own pool keyspace (one netstore.Pool per program,
+// each connection HELLO-bound to its program's server store), so
+// multi-program queries mirror every fold, not just program 0's. It is
+// the client side of the elastic backing tier; pair it with
+// WithBackingPool to tap a run's evictions.
 type BackingPool struct {
-	pool *netstore.Pool
+	pools []*netstore.Pool
 }
 
 // BackingPoolConfig tunes the pool; the zero value selects defaults
@@ -131,56 +141,129 @@ type BackingPoolConfig struct {
 	QueueDepth int
 }
 
-// DialBackingPool connects a pool over the given backend addresses for
-// the query's first switch program. Backends that are down at dial time
-// are routed around and picked back up by probing.
+// DialBackingPool connects one pool per switch program over the given
+// backend addresses. Program 0's connections use the legacy HELLO;
+// later programs bind their server-side stores with the extended
+// handshake. Backends that are down at dial time are routed around and
+// picked back up by probing.
 func (q *Query) DialBackingPool(addrs []string, cfg BackingPoolConfig) (*BackingPool, error) {
 	if len(q.plan.Programs) == 0 {
 		return nil, fmt.Errorf("perfq: query has no switch-resident aggregation to back")
 	}
-	pc := netstore.PoolConfig{
-		Client:        netstore.Options{IOTimeout: cfg.IOTimeout, DialTimeout: cfg.IOTimeout},
-		ProbeInterval: cfg.ProbeInterval,
-		QueueDepth:    cfg.QueueDepth,
+	bp := &BackingPool{}
+	for i, prog := range q.plan.Programs {
+		pc := netstore.PoolConfig{
+			Client: netstore.Options{
+				IOTimeout:   cfg.IOTimeout,
+				DialTimeout: cfg.IOTimeout,
+				Program:     i,
+			},
+			ProbeInterval: cfg.ProbeInterval,
+			QueueDepth:    cfg.QueueDepth,
+		}
+		p, err := netstore.DialPool(addrs, prog.Fold, pc)
+		if err != nil {
+			bp.Close()
+			return nil, err
+		}
+		bp.pools = append(bp.pools, p)
 	}
-	p, err := netstore.DialPool(addrs, q.plan.Programs[0].Fold, pc)
-	if err != nil {
-		return nil, err
-	}
-	return &BackingPool{pool: p}, nil
+	return bp, nil
 }
 
-// onEvict adapts the pool to the datapath's eviction callback. Only the
-// first switch program is mirrored (the pool speaks one fold); the
-// queue push never blocks the datapath.
+// onEvict adapts the pools to the datapath's eviction callback: each
+// program's evictions route to that program's pool keyspace. The queue
+// push never blocks the datapath.
 func (p *BackingPool) onEvict(prog int, ev *kvstore.Eviction) {
-	if prog != 0 {
+	if prog < 0 || prog >= len(p.pools) {
 		return
 	}
-	p.pool.HandleEviction(ev)
+	p.pools[prog].HandleEviction(ev)
 }
 
-// Sync drains every backend queue so each eviction offered so far is
-// either acked by its backend or counted dropped.
-func (p *BackingPool) Sync() error { return p.pool.Sync() }
+// Sync drains every backend queue of every program's pool so each
+// eviction offered so far is either acked by its backend or counted
+// dropped.
+func (p *BackingPool) Sync() error {
+	var first error
+	for _, pool := range p.pools {
+		if err := pool.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // DroppedEvictions is the pool's degradation stat: evictions that will
 // never reach any backend (queue overflow, dead-backend refusals,
-// frames lost on broken connections). Each one is a missing epoch in
-// the backing tier — the same accuracy semantics as a cache overflow.
-func (p *BackingPool) DroppedEvictions() uint64 { return p.pool.DroppedEvictions() }
+// frames lost on broken connections), summed across programs. Each one
+// is a missing epoch in the backing tier — the same accuracy semantics
+// as a cache overflow.
+func (p *BackingPool) DroppedEvictions() uint64 {
+	var total uint64
+	for _, pool := range p.pools {
+		total += pool.DroppedEvictions()
+	}
+	return total
+}
 
-// Healthy reports per-backend health, in address order.
-func (p *BackingPool) Healthy() []bool { return p.pool.Healthy() }
+// Healthy reports per-backend health, in address order (program 0's
+// probers; all programs probe the same backends).
+func (p *BackingPool) Healthy() []bool { return p.pools[0].Healthy() }
 
 // Addrs lists the backend addresses, in routing order.
-func (p *BackingPool) Addrs() []string { return p.pool.Addrs() }
+func (p *BackingPool) Addrs() []string { return p.pools[0].Addrs() }
 
-// Stats snapshots per-backend shipping and store counters.
-func (p *BackingPool) Stats() []netstore.BackendStats { return p.pool.Stats() }
+// Programs returns how many per-program pools the tier runs.
+func (p *BackingPool) Programs() int { return len(p.pools) }
+
+// Stats snapshots per-backend shipping and store counters for program 0
+// (the historical single-program view).
+func (p *BackingPool) Stats() []netstore.BackendStats { return p.pools[0].Stats() }
+
+// StatsFor snapshots program prog's per-backend counters (nil when out
+// of range).
+func (p *BackingPool) StatsFor(prog int) []netstore.BackendStats {
+	if prog < 0 || prog >= len(p.pools) {
+		return nil
+	}
+	return p.pools[prog].Stats()
+}
 
 // StatsLine renders a one-line health/drop summary for logs.
-func (p *BackingPool) StatsLine() string { return p.pool.StatsLine() }
+func (p *BackingPool) StatsLine() string {
+	line := ""
+	for i, pool := range p.pools {
+		if i > 0 {
+			line += " || "
+		}
+		if len(p.pools) > 1 {
+			line += fmt.Sprintf("prog%d ", i)
+		}
+		line += pool.StatsLine()
+	}
+	return line
+}
 
-// Close drains briefly and tears the pool down.
-func (p *BackingPool) Close() error { return p.pool.Close() }
+// Close drains briefly and tears every program's pool down.
+func (p *BackingPool) Close() error {
+	var first error
+	for _, pool := range p.pools {
+		if err := pool.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// register wires every program pool's metric families into reg, with a
+// prog label when the query has more than one program.
+func (p *BackingPool) register(reg *obs.Registry) {
+	for i, pool := range p.pools {
+		labels := ""
+		if len(p.pools) > 1 {
+			labels = `prog="` + strconv.Itoa(i) + `"`
+		}
+		pool.Register(reg, labels)
+	}
+}

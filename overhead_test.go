@@ -1,0 +1,116 @@
+package perfq
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"perfq/internal/kvstore"
+	"perfq/internal/obs"
+	"perfq/internal/queries"
+	"perfq/internal/switchsim"
+	"perfq/internal/trace"
+	"perfq/internal/tracegen"
+)
+
+// TestInstrumentationOverhead is the pinned zero-overhead budget of the
+// observability layer: the instrumented datapath hot loop must run
+// within 2% of the uninstrumented one, and must not allocate per
+// packet. The design makes this cheap to promise — per-packet work is
+// plain counters the loop already kept, mirrored into atomics only at
+// batch boundaries — and this test keeps it true.
+//
+// Methodology: the two arms (registry attached / nil) are built once,
+// then timed in interleaved rounds so frequency scaling and background
+// noise hit both arms alike; each arm scores its median round. The
+// whole comparison retries a few times before failing, because a 2%
+// bar on wall time is below scheduler noise on a busy host.
+//
+// Deliberately NOT named TestObs*: the race-suite pattern picks up the
+// TestObs tests, and a timing assertion is meaningless under -race
+// (it skips itself there and in -short runs).
+func TestInstrumentationOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+
+	cfg := tracegen.DCConfig(12, 2*time.Second)
+	cfg.DropProb = 0.005
+	recs, err := trace.Collect(tracegen.New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile(queries.ByName("Latency EWMA").Source)
+	build := func(reg *obs.Registry) (*switchsim.Datapath, func()) {
+		dp, err := switchsim.New(q.Plan(), switchsim.Config{
+			Geometry: kvstore.SetAssociative(1<<14, 8),
+			Metrics:  reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dp, dp.EndFeed
+	}
+	pass := func(dp *switchsim.Datapath) {
+		dp.Feed(recs)
+		dp.Sync()
+		dp.Flush()
+		dp.ResetWindow()
+	}
+
+	plain, closePlain := build(nil)
+	defer closePlain()
+	inst, closeInst := build(obs.NewRegistry())
+	defer closeInst()
+	// Warm both arms: size caches, indexes and arenas to the trace.
+	pass(plain)
+	pass(inst)
+
+	// Alloc budget first (deterministic, so no retries): a steady-state
+	// instrumented pass must allocate nothing per packet.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	pass(inst)
+	runtime.ReadMemStats(&after)
+	if perPkt := float64(after.Mallocs-before.Mallocs) / float64(len(recs)); perPkt > 0.01 {
+		t.Errorf("instrumented pass allocates %.4f objects/packet, want ~0", perPkt)
+	}
+
+	const rounds = 7
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	attempt := func() float64 {
+		tPlain := make([]time.Duration, 0, rounds)
+		tInst := make([]time.Duration, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			pass(plain)
+			tPlain = append(tPlain, time.Since(t0))
+			t1 := time.Now()
+			pass(inst)
+			tInst = append(tInst, time.Since(t1))
+		}
+		return float64(median(tPlain)) / float64(median(tInst))
+	}
+	const want = 0.98 // instrumented within 2% of plain
+	best := 0.0
+	for i := 0; i < 4; i++ {
+		if r := attempt(); r > best {
+			best = r
+		}
+		if best >= want {
+			break
+		}
+	}
+	t.Logf("instrumented/uninstrumented throughput ratio: %.4f (bar %.2f)", best, want)
+	if best < want {
+		t.Errorf("instrumentation overhead exceeds budget: ratio %.4f < %.2f", best, want)
+	}
+}

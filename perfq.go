@@ -35,6 +35,7 @@ import (
 	"perfq/internal/fold"
 	"perfq/internal/kvstore"
 	"perfq/internal/lang"
+	"perfq/internal/obs"
 	"perfq/internal/switchsim"
 	"perfq/internal/topo"
 	"perfq/internal/trace"
@@ -143,9 +144,24 @@ func (q *Query) Describe(w io.Writer) {
 // switch) datapath template, the topology of a fabric deployment, and
 // the window schedule of a continuous run.
 type runConfig struct {
-	sw   switchsim.Config
-	topo *topo.Topology
-	win  *WindowSpec
+	sw      switchsim.Config
+	topo    *topo.Topology
+	win     *WindowSpec
+	metrics *obs.Registry
+	pool    *BackingPool
+}
+
+// wireMetrics threads an attached registry into the layers the run will
+// build (the datapath template) and registers the pool's families.
+// Called once per run after the options are applied.
+func (c *runConfig) wireMetrics() {
+	if c.metrics == nil {
+		return
+	}
+	c.sw.Metrics = c.metrics
+	if c.pool != nil {
+		c.pool.register(c.metrics)
+	}
 }
 
 // RunOption configures Run.
@@ -248,6 +264,7 @@ func WithWindow(spec WindowSpec) RunOption {
 // concurrent datapaths; the pool is safe for that).
 func WithBackingPool(p *BackingPool) RunOption {
 	return func(c *runConfig) {
+		c.pool = p
 		prev := c.sw.OnEvict
 		c.sw.OnEvict = func(prog int, ev *kvstore.Eviction) {
 			p.onEvict(prog, ev)
@@ -266,6 +283,7 @@ func (q *Query) Run(src Source, opts ...RunOption) (*Results, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.wireMetrics()
 	if cfg.win != nil {
 		return q.stream(src, &cfg, nil)
 	}
@@ -416,6 +434,7 @@ func (q *Query) Stream(src Source, emit func(*WindowResult) error, opts ...RunOp
 	if cfg.win == nil {
 		return nil, fmt.Errorf("perfq: Stream requires the WithWindow option")
 	}
+	cfg.wireMetrics()
 	return q.stream(src, &cfg, emit)
 }
 
@@ -428,6 +447,16 @@ func (q *Query) stream(src Source, cfg *runConfig, emit func(*WindowResult) erro
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	var wm *obs.WindowMetrics
+	if cfg.metrics != nil {
+		keep := cfg.win.Keep
+		if keep <= 0 {
+			keep = 16
+		}
+		wm = obs.NewWindowMetrics(keep)
+		wm.Register(cfg.metrics, "")
+		spec.Obs = wm
 	}
 	var (
 		runner window.Runner
@@ -482,6 +511,14 @@ func (q *Query) stream(src Source, cfg *runConfig, emit func(*WindowResult) erro
 		}
 		res.windows.Push(out)
 		res.windowCount++
+		if wm != nil {
+			frac := 1.0
+			if out.WindowTotalKeys > 0 {
+				frac = float64(out.WindowValidKeys) / float64(out.WindowTotalKeys)
+			}
+			wm.Stability.Push(frac)
+			wm.Dropped.Store(0, uint64(res.windows.Dropped()))
+		}
 		if emit != nil {
 			return emit(out)
 		}
