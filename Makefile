@@ -23,12 +23,14 @@ test: build
 # pool's shipper goroutines, health probers and fault-injected
 # connections; the Obs suite scrapes /metrics + /debug/perfq over HTTP
 # while the sharded windowed datapath is feeding, racing the registry's
-# readers against every mirror write). The suites force GOMAXPROCS >= 4
-# internally so the parallel paths run even on a single-core host.
-# -short skips the longest stall-injection cases; run without it before
-# a release.
+# readers against every mirror write; the Trace/Journal suites hammer
+# the span rings and the flight recorder from concurrent writers and
+# scrape /debug/trace + /debug/events mid-run). The suites force
+# GOMAXPROCS >= 4 internally so the parallel paths run even on a
+# single-core host. -short skips the longest stall-injection cases; run
+# without it before a release.
 race:
-	$(GO) test -race -short -run 'TestSharded|TestWithShards|TestPool|TestWorkers|TestFabric|TestWindowed|TestChaos|TestBackingPool|TestServerRestart|TestObs' ./...
+	$(GO) test -race -short -run 'TestSharded|TestWithShards|TestPool|TestWorkers|TestFabric|TestWindowed|TestChaos|TestBackingPool|TestServerRestart|TestObs|TestTrace|TestJournal' ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run XXX .
@@ -39,29 +41,30 @@ bench:
 # instrumented path is the recorded path), the network-wide fabric
 # replay (pkts/s, serial vs worker-per-switch), the windowed-runtime
 # boundary overhead (pkts/s at window sizes 1k/10k/100k vs
-# single-window), the observability on/off A-B, the transport batch
-# sweep and the fold-eval microbench, written as JSON for the repo's
-# BENCH_*.json history. pipefail so a failing benchmark can't silently
-# record a partial file; the recorded file is then procs-checked.
+# single-window), the observability on/off A-B, the trace-sampling
+# on/off A-B, the transport batch sweep and the fold-eval microbench,
+# written as JSON for the repo's BENCH_*.json history. pipefail so a
+# failing benchmark can't silently record a partial file; the recorded
+# file is then procs-checked.
 bench-json: SHELL := /bin/bash
 bench-json:
 	set -o pipefail; \
-	{ $(GO) test -bench 'BenchmarkShardedDatapath|BenchmarkFabricDatapath|BenchmarkWindowedDatapath|BenchmarkObsOverhead' -benchtime 2s -benchmem -run XXX . && \
+	{ $(GO) test -bench 'BenchmarkShardedDatapath|BenchmarkFabricDatapath|BenchmarkWindowedDatapath|BenchmarkObsOverhead|BenchmarkTraceOverhead' -benchtime 2s -benchmem -run XXX . && \
 	  $(GO) test -bench 'BenchmarkWorkersTransport' -benchtime 1s -benchmem -run XXX ./internal/shard && \
 	  $(GO) test -bench 'BenchmarkFoldEval' -benchtime 1s -benchmem -run XXX ./internal/fold ; } \
-	| $(GO) run ./cmd/benchjson -out BENCH_9.json
-	$(GO) run ./cmd/benchjson -check BENCH_9.json
-	@cat BENCH_9.json
+	| $(GO) run ./cmd/benchjson -out BENCH_10.json
+	$(GO) run ./cmd/benchjson -check BENCH_10.json
+	@cat BENCH_10.json
 
 # Guard the recorded trajectory: fail if any multi-shard entry of the
 # newest recording claims procs: 1 on a multi-CPU host (the harness bug
 # that made the BENCH_3..5 scaling series fiction). CI runs this.
 bench-check:
-	$(GO) run ./cmd/benchjson -check BENCH_9.json
+	$(GO) run ./cmd/benchjson -check BENCH_10.json
 
 # Benchstat-style diff of the newest recording against the previous one.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_8.json BENCH_9.json
+	$(GO) run ./cmd/benchjson -compare BENCH_9.json BENCH_10.json
 
 # Hot-path diagnosis: run the reference EWMA query over a DC trace with
 # CPU and heap profiles; inspect with `go tool pprof cpu.prof`.

@@ -254,6 +254,60 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead prices the sampled-tracing layer on top of an
+// already-instrumented datapath: both arms attach a registry, and the
+// "on" arm additionally samples 1 in 4096 keys into trace spans and
+// journals control-plane events — the full -metrics-addr production
+// shape. The off/on pkts/s ratio is what tracing costs; the extended
+// TestInstrumentationOverhead keeps the whole stack (registry +
+// tracing + journal) within the 2% budget.
+func BenchmarkTraceOverhead(b *testing.B) {
+	cfg := tracegen.DCConfig(12, 4*time.Second)
+	cfg.DropProb = 0.005
+	recs, err := trace.Collect(tracegen.New(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustCompile(queries.ByName("Latency EWMA").Source)
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			withProcs(b, 1)
+			swCfg := switchsim.Config{
+				Geometry: kvstore.SetAssociative(1<<14, 8),
+				Metrics:  obs.NewRegistry(),
+			}
+			if traced {
+				swCfg.Trace = obs.NewTracer(12, 0)
+				swCfg.Journal = obs.NewJournal(obs.DefaultJournal)
+			}
+			dp, err := switchsim.New(q.Plan(), swCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(dp.EndFeed)
+			pass := func() {
+				dp.Feed(recs)
+				dp.Sync()
+				dp.Flush()
+				dp.ResetWindow()
+			}
+			pass() // warm
+			b.ReportAllocs()
+			done := 0
+			b.ResetTimer()
+			for done < b.N {
+				pass()
+				done += len(recs)
+			}
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
 // BenchmarkWindowedDatapath measures what continuous epochs cost: the
 // same EWMA replay as the sharded benchmark, closed every 1k/10k/100k
 // records (flush + materialize + reset per window) against the

@@ -24,11 +24,15 @@
 // instead of the default independent tumbling windows.
 //
 // With -metrics-addr the run serves its live observability surface over
-// HTTP: /metrics in Prometheus text format and /debug/perfq as a JSON
-// drill-down (per-switch, per-backend series). -stats-interval logs a
-// one-line counter summary on stderr while the run is live. Both
-// compose with every other mode, including -backing (pool health and
-// drop counters appear in /metrics).
+// HTTP: /metrics in Prometheus text format, /debug/perfq as a JSON
+// drill-down (per-switch, per-backend series), /debug/trace with the
+// sampled packet spans (per-hop latency, slowest traversals; tune with
+// -trace-sample), /debug/events with the control-plane flight recorder
+// (window closes, barriers, breaker and health transitions; size with
+// -journal-size), and /debug/pprof for the Go profiler.
+// -stats-interval logs a one-line counter summary on stderr while the
+// run is live. All of it composes with every other mode, including
+// -backing (pool health and drop counters appear in /metrics).
 package main
 
 import (
@@ -71,6 +75,8 @@ func main() {
 		backingQD  = flag.Int("backing-queue", 1<<16, "per-backend eviction queue depth of the -backing pool (overflow drops oldest)")
 		metricAddr = flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /debug/perfq (JSON) on this address, e.g. :9090")
 		statsEvery = flag.Duration("stats-interval", 0, "log a one-line stats summary every D while the run is live (0 = off)")
+		traceSamp  = flag.Int("trace-sample", perfq.DefaultTraceSampleExp, "sample 1 in 2^k keys for packet tracing at /debug/trace (negative = off)")
+		journalN   = flag.Int("journal-size", 4096, "control-plane flight recorder capacity at /debug/events (0 = off)")
 		maxRows    = flag.Int("rows", 20, "rows to print per table (0 = all)")
 		truth      = flag.Bool("truth", false, "also run ground truth and report row agreement")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -92,6 +98,8 @@ func main() {
 	var metrics *perfq.Metrics
 	if *metricAddr != "" || *statsEvery > 0 {
 		metrics = perfq.NewMetrics()
+		metrics.SetTraceSampling(*traceSamp)
+		metrics.SetJournalSize(*journalN)
 	}
 	start := time.Now()
 	if *metricAddr != "" {
@@ -109,7 +117,7 @@ func main() {
 				"backing": *backing != "" || *backingLoc > 0,
 			}
 		}))
-		fmt.Fprintf(os.Stderr, "pqrun: serving /metrics and /debug/perfq on http://%s\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "pqrun: serving /metrics, /debug/perfq, /debug/trace, /debug/events, /debug/pprof on http://%s\n", ln.Addr())
 	}
 	if *cpuProfile != "" || *memProfile != "" {
 		var cpuFile *os.File
@@ -238,7 +246,7 @@ func main() {
 			defer cluster.Close()
 			addrs = append(addrs, cluster.Addrs()...)
 		}
-		pool, err = q.DialBackingPool(addrs, perfq.BackingPoolConfig{QueueDepth: *backingQD})
+		pool, err = q.DialBackingPool(addrs, perfq.BackingPoolConfig{QueueDepth: *backingQD, Metrics: metrics})
 		if err != nil {
 			fail(err)
 		}
@@ -382,9 +390,20 @@ func startStatsLogger(metrics *perfq.Metrics, interval time.Duration, start time
 					time.Since(start).Round(time.Second), packets, pps, ev, fl)
 				if wins, ok := metrics.Value("perfq_windows_closed_total"); ok {
 					line += fmt.Sprintf(" windows=%.0f", wins)
+					if qs, qok := metrics.Quantiles("perfq_window_close_ns", 0.5, 0.99); qok {
+						line += fmt.Sprintf(" close_p50=%s close_p99=%s",
+							time.Duration(qs[0]).Round(time.Microsecond),
+							time.Duration(qs[1]).Round(time.Microsecond))
+					}
+					if wd, wok := metrics.Value("perfq_windows_dropped_total"); wok && wd > 0 {
+						line += fmt.Sprintf(" win_dropped=%.0f", wd)
+					}
 				}
 				if dropped, ok := metrics.Value("perfq_pool_dropped_total"); ok {
 					line += fmt.Sprintf(" pool_dropped=%.0f", dropped)
+					if open, bok := metrics.Value("perfq_pool_breaker_open"); bok {
+						line += fmt.Sprintf(" breakers_open=%.0f", open)
+					}
 				}
 				fmt.Fprintln(os.Stderr, line)
 				last, lastPackets = now, packets

@@ -90,7 +90,15 @@ type Fabric struct {
 	// windowed path (nil when idle or serial): a shard.Workers transport
 	// demuxed by switch ID, whose Barrier aligns epoch boundaries across
 	// the fabric.
-	pump *shard.Workers[trace.Record]
+	pump *shard.Workers[pumpItem]
+
+	// Sampled tracing at the demux (nil tracer ⇒ trMask == obs.NoSample
+	// and the feed path is unchanged). The demux samples on the
+	// five-tuple key, the network-wide flow identity; per-switch group
+	// keys are sampled again at each switch's cache either way.
+	tr      *obs.Tracer
+	trMask  uint64
+	journal *obs.Journal
 
 	// Collector memoization (Run → Collect → Accuracy read the same
 	// reconciliation).
@@ -98,6 +106,13 @@ type Fabric struct {
 	netAcc  []Accuracy
 
 	obs *fabObs // fabric-level metric mirrors (nil = off)
+}
+
+// pumpItem is one demuxed record in flight to its switch's worker, with
+// the span the demux began for it when sampled (zero otherwise).
+type pumpItem struct {
+	Rec  trace.Record
+	Span obs.SpanRef
 }
 
 // serialPath reports whether records should bypass the pump and be
@@ -122,24 +137,44 @@ func (f *Fabric) startPump() {
 	for i, id := range f.ids {
 		dps[i] = f.dps[id]
 	}
+	// consume applies one batch to its switch. With tracing on, each
+	// sampled item's span gets its transport hop and is parked in the
+	// datapath's span mailboxes around the inline Process call so cache
+	// hops land on it; the slot is cleared before the batch returns.
+	var consume func(dp *switchsim.Datapath, items []pumpItem)
+	if f.tr != nil {
+		consume = func(dp *switchsim.Datapath, items []pumpItem) {
+			for j := range items {
+				if sp := items[j].Span; sp.Live() {
+					sp.Hop(obs.HopTransport, obs.OutcomeOK, uint64(len(items)))
+					dp.SetTraceSpan(sp)
+					dp.Process(&items[j].Rec)
+					dp.SetTraceSpan(obs.SpanRef{})
+				} else {
+					dp.Process(&items[j].Rec)
+				}
+			}
+		}
+	} else {
+		consume = func(dp *switchsim.Datapath, items []pumpItem) {
+			for j := range items {
+				dp.Process(&items[j].Rec)
+			}
+		}
+	}
 	if o := f.obs; o != nil {
-		f.pump = shard.NewWorkersObs(len(f.ids), batch, o.tm, func(i int, recs []trace.Record) {
+		f.pump = shard.NewWorkersObs(len(f.ids), batch, o.tm, func(i int, items []pumpItem) {
 			t0 := time.Now()
 			dp := dps[i]
-			for j := range recs {
-				dp.Process(&recs[j])
-			}
+			consume(dp, items)
 			o.swNs[i].Record(uint64(time.Since(t0)))
 			dp.PublishMetrics()
 		})
 		o.pump.Store(f.pump)
 		return
 	}
-	f.pump = shard.NewWorkers(len(f.ids), batch, func(i int, recs []trace.Record) {
-		dp := dps[i]
-		for j := range recs {
-			dp.Process(&recs[j])
-		}
+	f.pump = shard.NewWorkers(len(f.ids), batch, func(i int, items []pumpItem) {
+		consume(dps[i], items)
 	})
 }
 
@@ -152,7 +187,13 @@ func (f *Fabric) feed(rec *trace.Record) {
 		return
 	}
 	f.packets++
-	f.pump.Feed(int(f.widx[sw]), *rec)
+	var span obs.SpanRef
+	if f.trMask != obs.NoSample {
+		if key := compiler.FiveTupleKey(rec); key.Hash()&f.trMask == 0 {
+			span = f.tr.Begin(int(f.widx[sw]), key, obs.HopRoute, obs.OutcomeOK)
+		}
+	}
+	f.pump.Feed(int(f.widx[sw]), pumpItem{Rec: *rec, Span: span})
 }
 
 // Feed processes a run of records without ending the window. When a
@@ -191,6 +232,7 @@ func (f *Fabric) Feed(recs []trace.Record) {
 func (f *Fabric) Sync() {
 	if f.pump != nil {
 		f.pump.Barrier()
+		f.journal.Append(obs.EvBarrier, int64(f.packets), int64(len(f.ids)), "fabric-pump")
 	}
 	f.publishFab()
 }
@@ -283,6 +325,9 @@ func New(plan *compiler.Plan, t *topo.Topology, cfg Config) (*Fabric, error) {
 	f := &Fabric{
 		plan: plan, topo: t, cfg: cfg, swGeo: swCfg.Geometry,
 		ids: ids, dps: make(map[uint16]*switchsim.Datapath, len(ids)),
+		tr:      cfg.Switch.Trace,
+		trMask:  cfg.Switch.Trace.HashMask(),
+		journal: cfg.Switch.Journal,
 	}
 	if cfg.Switch.Metrics != nil {
 		names := make([]string, len(ids))

@@ -5,7 +5,6 @@ import (
 
 	"perfq/internal/obs"
 	"perfq/internal/shard"
-	"perfq/internal/trace"
 )
 
 // Fabric instrumentation. Per-switch datapath families (packets,
@@ -27,7 +26,7 @@ type fabObs struct {
 
 	// pump mirrors the lazily-started pump for the scrape-time
 	// occupancy gauge (f.pump is feeder-owned).
-	pump atomic.Pointer[shard.Workers[trace.Record]]
+	pump atomic.Pointer[shard.Workers[pumpItem]]
 }
 
 // newFabObs builds and registers the fabric families. switchNames are

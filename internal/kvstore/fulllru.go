@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"perfq/internal/fold"
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 	"perfq/internal/trace"
 )
@@ -39,25 +40,37 @@ type fullLRU struct {
 	mScratch []float64
 	ev       Eviction   // reused eviction payload (fields are borrowed anyway)
 	blockIn  fold.Input // reused ProcessBlock input (a local would escape per call)
+
+	// Sampled tracing (see setAssoc). The map-indexed LRU computes no
+	// hash of its own, so sampled-access checks hash on demand — gated
+	// on trMask so the untraced path pays one field compare.
+	tr     *obs.Tracer
+	trMask uint64
+	trSlot *obs.SpanSlot
+	trW    int
 }
 
 func newFullLRU(cfg Config) *fullLRU {
 	capacity := cfg.Geometry.Ways
 	m := cfg.Fold.StateLen()
 	c := &fullLRU{
-		cfg:   cfg,
-		geom:  cfg.Geometry,
-		cap:   capacity,
-		m:     m,
-		exact: cfg.ExactMerge,
-		index: make(map[packet.Key128]int32, capacity),
-		keys:  make([]packet.Key128, capacity),
-		state: make([]float64, capacity*m),
-		next:  make([]int32, capacity),
-		prev:  make([]int32, capacity),
-		head:  -1,
-		tail:  -1,
-		free:  make([]int32, 0, capacity),
+		cfg:    cfg,
+		geom:   cfg.Geometry,
+		cap:    capacity,
+		m:      m,
+		exact:  cfg.ExactMerge,
+		index:  make(map[packet.Key128]int32, capacity),
+		keys:   make([]packet.Key128, capacity),
+		state:  make([]float64, capacity*m),
+		next:   make([]int32, capacity),
+		prev:   make([]int32, capacity),
+		head:   -1,
+		tail:   -1,
+		free:   make([]int32, 0, capacity),
+		tr:     cfg.Trace,
+		trMask: cfg.Trace.HashMask(),
+		trSlot: cfg.TraceSpan,
+		trW:    cfg.TraceWriter,
 	}
 	for i := capacity - 1; i >= 0; i-- {
 		c.free = append(c.free, int32(i))
@@ -130,6 +143,9 @@ func (c *fullLRU) Process(key packet.Key128, in *fold.Input) bool {
 			c.unlink(slot)
 			c.pushFront(slot)
 		}
+		if c.trMask != obs.NoSample && key.Hash()&c.trMask == 0 {
+			traceCacheHop(c.tr, c.trSlot, c.trW, key, false)
+		}
 		return false
 	}
 
@@ -160,6 +176,9 @@ func (c *fullLRU) Process(key packet.Key128, in *fold.Input) bool {
 	c.cfg.Fold.Update(st, in)
 	c.pushFront(slot)
 	c.stats.Inserts++
+	if c.trMask != obs.NoSample && key.Hash()&c.trMask == 0 {
+		traceCacheHop(c.tr, c.trSlot, c.trW, key, true)
+	}
 	return true
 }
 
@@ -181,6 +200,11 @@ func (c *fullLRU) ProcessBlock(keys *[fold.BlockSize]packet.Key128, recs []trace
 // scratch Eviction (the payload's slices are borrowed anyway).
 func (c *fullLRU) emit(slot int32, reason EvictReason) {
 	if c.cfg.OnEvict == nil {
+		if c.trMask != obs.NoSample {
+			if key := c.keys[slot]; key.Hash()&c.trMask == 0 {
+				traceEvictSpan(c.tr, c.trW, key, reason)
+			}
+		}
 		return
 	}
 	c.ev = Eviction{
@@ -193,6 +217,9 @@ func (c *fullLRU) emit(slot int32, reason EvictReason) {
 		if c.needFirst {
 			c.ev.FirstRec = &c.first[slot]
 		}
+	}
+	if c.trMask != obs.NoSample && c.ev.Key.Hash()&c.trMask == 0 {
+		c.ev.Span = traceEvictSpan(c.tr, c.trW, c.ev.Key, reason)
 	}
 	c.cfg.OnEvict(&c.ev)
 }

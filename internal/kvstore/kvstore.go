@@ -19,6 +19,7 @@ import (
 	"math/bits"
 
 	"perfq/internal/fold"
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 	"perfq/internal/trace"
 )
@@ -125,6 +126,11 @@ type Eviction struct {
 	P        []float64     // running coefficient product, nil unless exact merge
 	FirstRec *trace.Record // first packet of this cache epoch, nil unless exact merge
 	Reason   EvictReason
+	// Span is the eviction's trace span, begun here when the evicted
+	// key is sampled: the eviction starts the state's journey to the
+	// backing tier, and downstream consumers (the netstore pool) append
+	// their hops to it. Zero when tracing is off or the key unsampled.
+	Span obs.SpanRef
 }
 
 // Config configures a cache.
@@ -139,6 +145,23 @@ type Config struct {
 	ExactMerge bool
 	// OnEvict receives every eviction. May be nil.
 	OnEvict func(*Eviction)
+
+	// Trace, when non-nil, enables sampled packet tracing: accesses and
+	// evictions of keys selected by the tracer's hash mask record cache
+	// hops (outcome hit/miss) and begin eviction spans. The cache is
+	// where per-record sampling lives because it already computes the
+	// key hash for bucket indexing — the unsampled path pays one
+	// AND+compare against a register it holds anyway.
+	Trace *obs.Tracer
+	// TraceSpan, when tracing under a sharded transport, is the
+	// shard-local mailbox carrying the in-flight record's span from the
+	// ring-transport worker (which owns this cache) into the cache, so
+	// route/transport hops and cache hops land on one span. Nil means
+	// sampled accesses begin their own spans (the serial path).
+	TraceSpan *obs.SpanSlot
+	// TraceWriter selects the tracer's span ring stripe (the shard
+	// index under the sharded datapath).
+	TraceWriter int
 }
 
 // Stats counts cache events.
@@ -199,6 +222,38 @@ type Cache interface {
 
 // tz64 is the trailing-zero count of a nonzero lane mask.
 func tz64(m uint64) int { return bits.TrailingZeros64(m) }
+
+// traceCacheHop records a sampled access: when the shard's span slot
+// holds the in-flight record's span (sharded transport), the cache hop
+// is appended there; otherwise (serial path) the access begins its own
+// span. Called only at the 1-in-2^k sampled rate.
+func traceCacheHop(tr *obs.Tracer, slot *obs.SpanSlot, w int, key packet.Key128, inserted bool) {
+	if tr == nil {
+		return // all-zero hash slipped past a disabled NoSample mask
+	}
+	out := obs.OutcomeHit
+	if inserted {
+		out = obs.OutcomeMiss
+	}
+	if slot != nil && slot.Ref.Live() {
+		slot.Ref.Hop(obs.HopCache, out, 0)
+		return
+	}
+	tr.Begin(w, key, obs.HopCache, out)
+}
+
+// traceEvictSpan begins the "why did this key get evicted" span for a
+// sampled evicted key. Called only on sampled evictions.
+func traceEvictSpan(tr *obs.Tracer, w int, key packet.Key128, reason EvictReason) obs.SpanRef {
+	if tr == nil {
+		return obs.SpanRef{}
+	}
+	out := obs.OutcomeCapacity
+	if reason == EvictFlush {
+		out = obs.OutcomeFlush
+	}
+	return tr.Begin(w, key, obs.HopEvict, out)
+}
 
 // New builds a cache for the geometry: a set-associative array layout for
 // multi-bucket configurations, or a map-backed full LRU for Buckets == 1.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"perfq/internal/fold"
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 	"perfq/internal/trace"
 )
@@ -63,6 +64,14 @@ type setAssoc struct {
 
 	stats Stats
 
+	// Sampled tracing. trMask is obs.NoSample when tracing is off, so
+	// the per-access guard (h&trMask == 0) needs no nil branch and costs
+	// both the traced and untraced builds the same AND+compare.
+	tr     *obs.Tracer
+	trMask uint64
+	trSlot *obs.SpanSlot
+	trW    int
+
 	aScratch []float64
 	mScratch []float64
 	ev       Eviction   // reused eviction payload (fields are borrowed anyway)
@@ -73,14 +82,18 @@ type setAssoc struct {
 func newSetAssoc(cfg Config, g Geometry) *setAssoc {
 	m := cfg.Fold.StateLen()
 	c := &setAssoc{
-		cfg:   cfg,
-		fold:  cfg.Fold,
-		geom:  g,
-		mask:  uint64(g.Buckets - 1),
-		ways:  g.Ways,
-		m:     m,
-		exact: cfg.ExactMerge,
-		fill:  make([]uint8, g.Buckets),
+		cfg:    cfg,
+		fold:   cfg.Fold,
+		geom:   g,
+		mask:   uint64(g.Buckets - 1),
+		ways:   g.Ways,
+		m:      m,
+		exact:  cfg.ExactMerge,
+		fill:   make([]uint8, g.Buckets),
+		tr:     cfg.Trace,
+		trMask: cfg.Trace.HashMask(),
+		trSlot: cfg.TraceSpan,
+		trW:    cfg.TraceWriter,
 	}
 	c.stride = 2 + m
 	if cfg.ExactMerge {
@@ -175,6 +188,9 @@ func (c *setAssoc) Process(key packet.Key128, in *fold.Input) bool {
 				ord[j] = ord[j-1]
 			}
 			ord[0] = mru
+			if h&c.trMask == 0 {
+				traceCacheHop(c.tr, c.trSlot, c.trW, key, false)
+			}
 			return false
 		}
 	}
@@ -202,6 +218,9 @@ func (c *setAssoc) Process(key packet.Key128, in *fold.Input) bool {
 	}
 	copy(ord[1:n+1], ord[0:n])
 	ord[0] = slotIdx
+	if h&c.trMask == 0 {
+		traceCacheHop(c.tr, c.trSlot, c.trW, key, true)
+	}
 	return true
 }
 
@@ -267,6 +286,9 @@ func (c *setAssoc) process8(key packet.Key128, in *fold.Input) bool {
 			high := ordW &^ (uint64(1)<<(8*uint(i+1)) - 1)
 			c.metaOrd[b] = high | low<<8 | uint64(slotIdx)
 		}
+		if h&c.trMask == 0 {
+			traceCacheHop(c.tr, c.trSlot, c.trW, key, false)
+		}
 		return false
 	}
 
@@ -293,6 +315,9 @@ func (c *setAssoc) process8(key packet.Key128, in *fold.Input) bool {
 	c.metaTags[b] = tagW&^(uint64(0xff)<<sh) | uint64(tag)<<sh
 	c.insert(base+int(slotIdx), key, tag, in)
 	c.stats.Inserts++
+	if h&c.trMask == 0 {
+		traceCacheHop(c.tr, c.trSlot, c.trW, key, true)
+	}
 	return true
 }
 
@@ -364,8 +389,9 @@ func (c *setAssoc) insert(slot int, key packet.Key128, tag uint8, in *fold.Input
 // no new aliasing constraints and keeps the eviction path allocation-free.
 func (c *setAssoc) evict(slot int, reason EvictReason) {
 	if c.cfg.OnEvict != nil {
+		key := c.slotKey(slot)
 		c.ev = Eviction{
-			Key:    c.slotKey(slot),
+			Key:    key,
 			State:  c.slotState(slot),
 			Reason: reason,
 		}
@@ -375,7 +401,16 @@ func (c *setAssoc) evict(slot int, reason EvictReason) {
 				c.ev.FirstRec = &c.first[slot]
 			}
 		}
+		if c.trMask != obs.NoSample && key.Hash()&c.trMask == 0 {
+			c.ev.Span = traceEvictSpan(c.tr, c.trW, key, reason)
+		}
 		c.cfg.OnEvict(&c.ev)
+	} else if c.trMask != obs.NoSample {
+		// No downstream consumer, but the eviction story is still worth
+		// recording for sampled keys.
+		if key := c.slotKey(slot); key.Hash()&c.trMask == 0 {
+			traceEvictSpan(c.tr, c.trW, key, reason)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"perfq/internal/fold"
 	"perfq/internal/kvstore"
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 )
 
@@ -155,6 +156,11 @@ type Client struct {
 	// the breaker/backoff gates instead of waiting out a cooldown armed
 	// while the peer was down.
 	healthHint atomic.Bool
+
+	// journal, when non-nil, receives breaker transition events
+	// (open/half-open/close, msg = backend address). Set at construction
+	// by the pool; nil-safe to append to.
+	journal *obs.Journal
 }
 
 // NoteReachable records that an out-of-band health check reached the
@@ -203,7 +209,9 @@ func (c *Client) ensureConn() error {
 		c.openedAt = time.Time{}
 		c.retryAt = time.Time{}
 		c.backoff = c.opts.BackoffMin
-		c.brkOpen.Store(false)
+		if c.brkOpen.Swap(false) {
+			c.journal.Append(obs.EvBreakerClose, 0, 0, c.addr)
+		}
 	}
 	now := time.Now()
 	if !c.openedAt.IsZero() {
@@ -211,6 +219,7 @@ func (c *Client) ensureConn() error {
 			return ErrCircuitOpen
 		}
 		// Half-open: fall through to one trial dial.
+		c.journal.Append(obs.EvBreakerHalfOpen, int64(c.failures), 0, c.addr)
 	} else if now.Before(c.retryAt) {
 		return ErrBackoff
 	}
@@ -239,7 +248,9 @@ func (c *Client) recordFailure() {
 	c.failures++
 	if c.opts.BreakerTrip > 0 && c.failures >= c.opts.BreakerTrip {
 		c.openedAt = time.Now()
-		c.brkOpen.Store(true)
+		if !c.brkOpen.Swap(true) {
+			c.journal.Append(obs.EvBreakerOpen, int64(c.failures), 0, c.addr)
+		}
 	}
 }
 
@@ -247,7 +258,9 @@ func (c *Client) recordFailure() {
 func (c *Client) recordSuccess() {
 	c.failures = 0
 	c.openedAt = time.Time{}
-	c.brkOpen.Store(false)
+	if c.brkOpen.Swap(false) {
+		c.journal.Append(obs.EvBreakerClose, 0, 0, c.addr)
+	}
 	c.backoff = c.opts.BackoffMin
 	c.retryAt = time.Time{}
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"perfq/internal/obs"
 )
 
 // Health probing for the backing pool: every backend gets a prober
@@ -55,6 +57,10 @@ type backendHealth struct {
 	// the shipper client's breaker so the rejoining backend takes
 	// traffic immediately instead of after a cooldown).
 	onUp func()
+
+	// journal, when non-nil, receives health transition events (up/down/
+	// markdown, msg = backend address). Nil-safe to append to.
+	journal *obs.Journal
 }
 
 func (h *backendHealth) state() HealthState {
@@ -78,6 +84,7 @@ func (h *backendHealth) state() HealthState {
 func (h *backendHealth) markDown() {
 	if h.healthy.Swap(false) {
 		h.downs.Add(1)
+		h.journal.Append(obs.EvMarkdown, int64(h.downs.Load()), 0, h.addr)
 	}
 }
 
@@ -94,6 +101,7 @@ func (h *backendHealth) observe(err error, downAfter, upAfter int) {
 		if h.consecBad >= downAfter {
 			if h.healthy.Swap(false) {
 				h.downs.Add(1)
+				h.journal.Append(obs.EvHealthDown, int64(h.consecBad), 0, h.addr)
 			}
 		}
 		return
@@ -103,6 +111,7 @@ func (h *backendHealth) observe(err error, downAfter, upAfter int) {
 	if h.consecOK >= upAfter {
 		if !h.healthy.Swap(true) {
 			h.ups.Add(1)
+			h.journal.Append(obs.EvHealthUp, int64(h.consecOK), 0, h.addr)
 			if h.onUp != nil {
 				h.onUp()
 			}

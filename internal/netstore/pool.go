@@ -11,6 +11,7 @@ import (
 
 	"perfq/internal/fold"
 	"perfq/internal/kvstore"
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 )
 
@@ -87,6 +88,11 @@ type PoolConfig struct {
 	// SkipInitialProbe skips the synchronous startup probe (tests that
 	// want to observe the first probe flip health).
 	SkipInitialProbe bool
+	// Journal, when non-nil, receives control-plane events from the
+	// pool's data plane: breaker transitions, health up/down, markdowns,
+	// queue overflows (msg = backend address). Control-plane clients
+	// (get/stats/reset) are not journaled.
+	Journal *obs.Journal
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -127,10 +133,11 @@ func DialPool(addrs []string, f *fold.Func, cfg PoolConfig) (*Pool, error) {
 		}
 		opts = opts.withDefaults()
 		cl := NewClient(addr, f, opts)
+		cl.journal = cfg.Journal
 		b := &poolBackend{
 			addr:   addr,
 			salt:   backendSalt(addr),
-			health: &backendHealth{addr: addr},
+			health: &backendHealth{addr: addr, journal: cfg.Journal},
 		}
 		b.health.healthy.Store(true) // optimistic until the first probe
 		b.health.onUp = cl.NoteReachable
@@ -141,6 +148,7 @@ func DialPool(addrs []string, f *fold.Func, cfg PoolConfig) (*Pool, error) {
 				b.health.markDown()
 			}
 		})
+		b.ship.journal = cfg.Journal
 		b.probe = &prober{
 			h: b.health, m: p.m, prog: opts.Program,
 			interval: cfg.ProbeInterval, timeout: opts.DialTimeout,
@@ -215,10 +223,18 @@ func (p *Pool) HandleEviction(ev *kvstore.Eviction) error {
 	if owner < 0 {
 		p.noBackend.Add(1)
 		p.mu.Unlock()
+		ev.Span.Hop(obs.HopShip, obs.OutcomeNoBackend, 0)
 		return nil
 	}
-	p.backends[owner].ship.Enqueue(op, payload)
+	queued := p.backends[owner].ship.Enqueue(op, payload)
 	p.mu.Unlock()
+	// Sampled evicted keys get their ship hop here (a zero Span is a
+	// no-op): queued to the owner's shipper, or dropped on a closed one.
+	out := obs.OutcomeQueued
+	if !queued {
+		out = obs.OutcomeDropped
+	}
+	ev.Span.Hop(obs.HopShip, out, uint64(owner))
 	return nil
 }
 

@@ -207,6 +207,10 @@ type Shipper struct {
 	// the goroutine reads it unsynchronized.
 	onFault func()
 
+	// journal, when non-nil, receives queue-overflow events (producer
+	// side only). Set by the pool before the shipper takes traffic.
+	journal *obs.Journal
+
 	wg sync.WaitGroup
 }
 
@@ -224,12 +228,20 @@ func NewShipper(addr string, cl *Client, depth, batch int, onFault func()) *Ship
 
 // Enqueue hands one pre-encoded eviction frame to the shipper. It never
 // blocks: on overflow the oldest queued eviction is dropped and
-// counted. Safe for concurrent producers.
-func (s *Shipper) Enqueue(op byte, payload []byte) {
+// counted. Safe for concurrent producers. It reports whether THIS frame
+// was queued (false only once the shipper is closed — an overflow drops
+// the oldest queued frame, not this one).
+func (s *Shipper) Enqueue(op byte, payload []byte) bool {
 	s.offered.Add(1)
-	if ok, _ := s.q.push(op, payload); !ok {
+	ok, dropped := s.q.push(op, payload)
+	if !ok {
 		s.shipDrops.Add(1) // closed shipper: nothing will deliver it
+		return false
 	}
+	if dropped {
+		s.journal.Append(obs.EvQueueOverflow, int64(s.q.len()), 0, s.addr)
+	}
+	return true
 }
 
 // run is the consumer loop: pop, ship, and sync every batch boundary or

@@ -1,16 +1,36 @@
 package obs
 
-import "net/http"
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
 
 // Handler serves the registry over HTTP:
 //
-//	/metrics      Prometheus text exposition
-//	/debug/perfq  JSON snapshot with per-switch / per-backend drill-down
+//	/metrics       Prometheus text exposition
+//	/debug/perfq   JSON snapshot with per-switch / per-backend drill-down
+//	/debug/pprof/  live CPU/heap/goroutine profiles
 //
 // extra, when non-nil, is called per /debug/perfq request and its
 // result marshaled under "extra" (pqrun uses it for run-level context
 // like the query text and flag settings).
 func (r *Registry) Handler(extra func() any) http.Handler {
+	return NewHandler(r, nil, nil, extra)
+}
+
+// NewHandler is the full observability surface: the registry routes
+// plus, when a tracer / journal is attached,
+//
+//	/debug/trace   recent sampled spans, per-hop latency histograms
+//	               (?spans=N caps the span list, ?slow=N the slowest-N
+//	               table)
+//	/debug/events  flight-recorder tail (?n=N, ?kind=a,b filters)
+//
+// Nil tracer/journal arguments return 404 on their routes.
+func NewHandler(r *Registry, tr *Tracer, j *Journal, extra func() any) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -24,13 +44,135 @@ func (r *Registry) Handler(extra func() any) http.Handler {
 		}
 		r.WriteJSON(w, ex)
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		if tr == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeTraceJSON(w, tr, req)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		if j == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeEventsJSON(w, j, req)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("perfq metrics\n\n/metrics      Prometheus text\n/debug/perfq  JSON snapshot\n"))
+		w.Write([]byte("perfq metrics\n\n" +
+			"/metrics       Prometheus text\n" +
+			"/debug/perfq   JSON snapshot\n" +
+			"/debug/trace   sampled packet spans + per-hop latency\n" +
+			"/debug/events  control-plane flight recorder\n" +
+			"/debug/pprof/  live profiles\n"))
 	})
 	return mux
+}
+
+// jsonHopHist is one hop's latency summary on /debug/trace.
+type jsonHopHist struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+func writeTraceJSON(w http.ResponseWriter, tr *Tracer, req *http.Request) {
+	spans := tr.Spans()
+	slowN := queryInt(req, "slow", 16)
+	keep := queryInt(req, "spans", 64)
+
+	// Slowest-N by total span latency (selection over the snapshot).
+	slow := append([]SpanSnap(nil), spans...)
+	for i := 1; i < len(slow); i++ {
+		for j := i; j > 0 && slow[j-1].TotalNs < slow[j].TotalNs; j-- {
+			slow[j-1], slow[j] = slow[j], slow[j-1]
+		}
+	}
+	if len(slow) > slowN {
+		slow = slow[:slowN]
+	}
+	if len(spans) > keep {
+		spans = spans[len(spans)-keep:] // most recent by sequence
+	}
+
+	hops := make(map[string]jsonHopHist, NumHops)
+	var snap HistSnap
+	for h := 0; h < NumHops; h++ {
+		tr.HopHist(Hop(h), &snap)
+		if snap.Count == 0 {
+			continue
+		}
+		hops[Hop(h).String()] = jsonHopHist{
+			Count:  snap.Count,
+			MeanNs: snap.Mean(),
+			P50Ns:  snap.Quantile(0.50),
+			P90Ns:  snap.Quantile(0.90),
+			P99Ns:  snap.Quantile(0.99),
+		}
+	}
+
+	doc := struct {
+		SampleRate   uint64                 `json:"sample_rate"` // 1-in-N
+		SpansStarted uint64                 `json:"spans_started"`
+		Spans        []SpanSnap             `json:"spans"`
+		Slowest      []SpanSnap             `json:"slowest"`
+		Hops         map[string]jsonHopHist `json:"hops"`
+	}{tr.Rate(), tr.Begun(), spans, slow, hops}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// jsonEvent wraps Event with its rendered kind name.
+type jsonEvent struct {
+	Kind string `json:"kind"`
+	Event
+}
+
+func writeEventsJSON(w http.ResponseWriter, j *Journal, req *http.Request) {
+	n := queryInt(req, "n", 256)
+	var kinds []EventKind
+	if raw := req.URL.Query().Get("kind"); raw != "" {
+		for _, name := range strings.Split(raw, ",") {
+			if k, ok := EventKindByName(strings.TrimSpace(name)); ok {
+				kinds = append(kinds, k)
+			}
+		}
+	}
+	tail := j.Tail(n, kinds...)
+	events := make([]jsonEvent, len(tail))
+	for i, ev := range tail {
+		events[i] = jsonEvent{Kind: ev.Kind.String(), Event: ev}
+	}
+	doc := struct {
+		Seq         uint64      `json:"seq"`
+		Overwritten uint64      `json:"overwritten"`
+		Events      []jsonEvent `json:"events"`
+	}{j.Seq(), j.Overwritten(), events}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func queryInt(req *http.Request, key string, def int) int {
+	if raw := req.URL.Query().Get(key); raw != "" {
+		if v, err := strconv.Atoi(raw); err == nil && v >= 0 {
+			return v
+		}
+	}
+	return def
 }

@@ -188,6 +188,43 @@ func (s *HistSnap) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) by linear
+// interpolation inside the power-of-two bucket holding the target rank.
+// Bucket i > 0 spans [2^(i-1), 2^i); assuming ranks spread uniformly
+// across a bucket's value range bounds the relative error by the
+// bucket's width — a factor of 2 worst case, typically far less for the
+// latency distributions these histograms hold. Returns 0 when empty.
+func (s *HistSnap) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i := range s.Buckets {
+		c := float64(s.Buckets[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(i-1)) // bucket lower bound
+			hi := float64(BucketBound(i))
+			frac := (target - cum) / c
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return float64(BucketBound(HistBuckets - 1))
+}
+
 // Series is a bounded ring of float64 observations — the per-window
 // stability series (valid-key fraction per closed window, after
 // PASTRAMI's result-stability metric). Push is cheap but not hot-path:

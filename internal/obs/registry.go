@@ -222,6 +222,31 @@ func (r *Registry) Value(name string) (float64, bool) {
 	return sum, true
 }
 
+// Quantiles estimates quantiles over a histogram family, merging every
+// series' snapshot first (so a per-shard family answers as one
+// distribution). ok is false for unregistered or non-histogram names.
+func (r *Registry) Quantiles(name string, qs ...float64) ([]float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil || f.kind != KindHist {
+		return nil, false
+	}
+	var merged HistSnap
+	for _, s := range f.series {
+		if s.readH == nil {
+			continue
+		}
+		s.readH(s.scratch)
+		merged.Merge(s.scratch)
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = merged.Quantile(q)
+	}
+	return out, true
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format, families in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -283,6 +308,9 @@ type jsonSeries struct {
 	Count   *uint64           `json:"count,omitempty"`
 	Sum     *uint64           `json:"sum,omitempty"`
 	Mean    *float64          `json:"mean,omitempty"`
+	P50     *float64          `json:"p50,omitempty"`
+	P90     *float64          `json:"p90,omitempty"`
+	P99     *float64          `json:"p99,omitempty"`
 	Buckets map[string]uint64 `json:"buckets,omitempty"`
 }
 
@@ -315,6 +343,10 @@ func (r *Registry) Debug() []jsonFamily {
 				s.readH(s.scratch)
 				count, sum, mean := s.scratch.Count, s.scratch.Sum, s.scratch.Mean()
 				js.Count, js.Sum, js.Mean = &count, &sum, &mean
+				if count != 0 {
+					p50, p90, p99 := s.scratch.Quantile(0.50), s.scratch.Quantile(0.90), s.scratch.Quantile(0.99)
+					js.P50, js.P90, js.P99 = &p50, &p90, &p99
+				}
 				js.Buckets = make(map[string]uint64)
 				for i := 0; i < HistBuckets; i++ {
 					if n := s.scratch.Buckets[i]; n != 0 {

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"perfq/internal/packet"
+)
+
+// traceKey builds a distinct Key128 per index.
+func traceKey(i uint64) packet.Key128 {
+	var k packet.Key128
+	binary.LittleEndian.PutUint64(k[:8], i)
+	binary.LittleEndian.PutUint64(k[8:], i*2654435761)
+	return k
+}
+
+// TestTraceSamplerDeterministic pins the sampler's core property: the
+// sampled set is a pure function of the key bytes and k — two tracers
+// at the same rate agree on every key, the decision matches the
+// published mask, k=0 samples everything, and a nil tracer's mask
+// rejects every key with a nonzero hash.
+func TestTraceSamplerDeterministic(t *testing.T) {
+	a, b := NewTracer(6, 0), NewTracer(6, 0)
+	if a.Rate() != 64 {
+		t.Fatalf("Rate() = %d, want 64", a.Rate())
+	}
+	sampled := 0
+	const keys = 1 << 14
+	for i := uint64(0); i < keys; i++ {
+		h := traceKey(i).Hash()
+		if a.Sampled(h) != b.Sampled(h) {
+			t.Fatalf("key %d: two same-rate tracers disagree", i)
+		}
+		if a.Sampled(h) != (h&a.HashMask() == 0) {
+			t.Fatalf("key %d: Sampled disagrees with HashMask", i)
+		}
+		if a.Sampled(h) {
+			sampled++
+		}
+	}
+	// 1-in-64 over 16384 keys: ~256 expected; a good hash stays well
+	// within [64, 1024].
+	if sampled < keys/256 || sampled > keys/16 {
+		t.Errorf("sampled %d of %d keys at 1-in-64; hash looks biased", sampled, keys)
+	}
+
+	all := NewTracer(0, 0)
+	for i := uint64(0); i < 64; i++ {
+		if !all.Sampled(traceKey(i).Hash()) {
+			t.Fatalf("k=0 tracer rejected key %d", i)
+		}
+	}
+	var nilTr *Tracer
+	if nilTr.HashMask() != NoSample {
+		t.Fatalf("nil tracer HashMask = %x, want NoSample", nilTr.HashMask())
+	}
+}
+
+// TestTraceSpanHops exercises one span end to end: hop offsets are
+// nondecreasing from a zero first hop, outcomes and args round-trip
+// through the snapshot, and the snapshot ordering follows the begin
+// sequence.
+func TestTraceSpanHops(t *testing.T) {
+	tr := NewTracer(0, 8)
+	r1 := tr.Begin(0, traceKey(1), HopRoute, OutcomeOK)
+	r1.Hop(HopTransport, OutcomeOK, 17)
+	r1.Hop(HopCache, OutcomeMiss, 0)
+	r2 := tr.Begin(1, traceKey(2), HopEvict, OutcomeCapacity)
+	r2.Hop(HopShip, OutcomeQueued, 3)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Seq >= spans[1].Seq {
+		t.Fatalf("spans out of sequence order: %d then %d", spans[0].Seq, spans[1].Seq)
+	}
+	s := spans[0]
+	wantHops := []struct{ hop, out string }{
+		{"route", "ok"}, {"transport", "ok"}, {"cache", "miss"},
+	}
+	if len(s.Hops) != len(wantHops) {
+		t.Fatalf("span 1 has %d hops, want %d", len(s.Hops), len(wantHops))
+	}
+	for i, w := range wantHops {
+		if s.Hops[i].Hop != w.hop || s.Hops[i].Outcome != w.out {
+			t.Errorf("hop %d = %s/%s, want %s/%s", i, s.Hops[i].Hop, s.Hops[i].Outcome, w.hop, w.out)
+		}
+	}
+	if s.Hops[0].T != 0 {
+		t.Errorf("first hop offset = %d, want 0", s.Hops[0].T)
+	}
+	for i := 1; i < len(s.Hops); i++ {
+		if s.Hops[i].T < s.Hops[i-1].T {
+			t.Errorf("hop offsets not monotone: %d then %d", s.Hops[i-1].T, s.Hops[i].T)
+		}
+	}
+	if s.Hops[1].Arg != 17 {
+		t.Errorf("transport arg = %d, want 17", s.Hops[1].Arg)
+	}
+	if tr.Begun() != 2 {
+		t.Errorf("Begun = %d, want 2", tr.Begun())
+	}
+
+	// Per-hop latency histograms saw one transport and one cache delta.
+	var snap HistSnap
+	tr.HopHist(HopTransport, &snap)
+	if snap.Count != 1 {
+		t.Errorf("transport hop hist count = %d, want 1", snap.Count)
+	}
+}
+
+// TestTraceSpanReuse pins the ring-recycling contract: once a slot is
+// reused for a newer traversal, a stale ref's appends are dropped
+// instead of corrupting the new span, and a full span marks itself
+// truncated instead of growing.
+func TestTraceSpanReuse(t *testing.T) {
+	tr := NewTracer(0, 1) // one slot per stripe: second Begin recycles it
+	old := tr.Begin(0, traceKey(1), HopRoute, OutcomeOK)
+	fresh := tr.Begin(0, traceKey(2), HopRoute, OutcomeOK)
+	old.Hop(HopCache, OutcomeHit, 0) // stale: slot now belongs to key 2
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans from a 1-slot stripe, want 1", len(spans))
+	}
+	if len(spans[0].Hops) != 1 {
+		t.Fatalf("stale append landed on the recycled span: %d hops, want 1", len(spans[0].Hops))
+	}
+
+	// Fill the live span to MaxSpanHops; the overflow append must set
+	// the truncated flag and record nothing.
+	for i := 1; i < MaxSpanHops; i++ {
+		fresh.Hop(HopCache, OutcomeHit, uint64(i))
+	}
+	fresh.Hop(HopCache, OutcomeHit, 999)
+	spans = tr.Spans()
+	if n := len(spans[0].Hops); n != MaxSpanHops {
+		t.Fatalf("span has %d hops, want %d", n, MaxSpanHops)
+	}
+	if !spans[0].Truncated {
+		t.Error("overflowing span not marked truncated")
+	}
+	if spans[0].Hops[MaxSpanHops-1].Arg == 999 {
+		t.Error("overflow hop was recorded past MaxSpanHops")
+	}
+
+	// The zero ref is valid and inert.
+	var zero SpanRef
+	if zero.Live() {
+		t.Error("zero SpanRef claims to be live")
+	}
+	zero.Hop(HopShip, OutcomeDropped, 0)
+}

@@ -49,9 +49,14 @@ type KeyFunc func(*trace.Record) packet.Key128
 type ProcessFunc func(shard int, rec *trace.Record, mask uint64)
 
 // Item is one routed record with the targets its shard owns for it.
+// Span is the record's trace span when the router sampled it (zero
+// otherwise): the ring publish/consume edge orders the feeder's Begin
+// before the worker's appends, so the ref rides the item without extra
+// synchronization.
 type Item struct {
 	Rec  trace.Record
 	Mask uint64
+	Span obs.SpanRef
 }
 
 // Config describes a routing domain.
@@ -80,6 +85,17 @@ type Config struct {
 	// consumed batch — the datapath's hook for publishing its plain
 	// per-shard counters into atomic mirrors at batch granularity.
 	AfterBatch func(worker int)
+
+	// Trace, when non-nil, samples records at the router: a record
+	// whose partition-key hash is selected begins a span (HopRoute) that
+	// rides its Item through the transport. The router already hashes
+	// every key, so the sampling test is one AND+compare per key group.
+	Trace *obs.Tracer
+	// SpanSlots, when tracing, are the per-shard mailboxes the worker
+	// loop parks the in-flight item's span in so downstream consumers
+	// on the same goroutine (the shard's caches) can append to it.
+	// Sized for Shards; nil disables the handoff.
+	SpanSlots []*obs.SpanSlot
 }
 
 // Index maps a partition key to a shard in [0, n). The key's Hash is
@@ -91,7 +107,14 @@ func Index(key packet.Key128, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := key.Hash()
+	return indexHash(key.Hash(), n)
+}
+
+// indexHash is Index's finalizer on an already-computed key hash.
+func indexHash(h uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
 	h ^= h >> 31
 	h *= 0x94d049bb133111eb
 	h ^= h >> 28
@@ -109,6 +132,12 @@ type Router struct {
 	idx     []int // per-key shard index scratch
 	free    uint64
 	rr      int
+
+	// Sampling state for the record routed last (valid until the next
+	// Route call). trMask is obs.NoSample when no tracer is attached.
+	trMask  uint64
+	sampKey packet.Key128
+	sampled bool
 }
 
 // NewRouter builds a router from the routing-relevant Config fields.
@@ -130,6 +159,7 @@ func NewRouter(cfg Config) *Router {
 		targets: targets,
 		idx:     make([]int, len(cfg.Keys)),
 		free:    cfg.FreeMask,
+		trMask:  cfg.Trace.HashMask(),
 	}
 }
 
@@ -144,8 +174,23 @@ func (r *Router) Route(rec *trace.Record, masks []uint64) {
 	for i := range masks {
 		masks[i] = 0
 	}
-	for k, kf := range r.keys {
-		r.idx[k] = Index(kf(rec), r.n)
+	if r.trMask == obs.NoSample {
+		for k, kf := range r.keys {
+			r.idx[k] = Index(kf(rec), r.n)
+		}
+	} else {
+		// Tracing: reuse each key's hash for the sampling test — the
+		// marked key (first sampled group) begins the record's span.
+		r.sampled = false
+		for k, kf := range r.keys {
+			key := kf(rec)
+			h := key.Hash()
+			r.idx[k] = indexHash(h, r.n)
+			if h&r.trMask == 0 && !r.sampled {
+				r.sampled = true
+				r.sampKey = key
+			}
+		}
 	}
 	for t, k := range r.targets {
 		masks[r.idx[k]] |= 1 << uint(t)
@@ -159,6 +204,12 @@ func (r *Router) Route(rec *trace.Record, masks []uint64) {
 	}
 }
 
+// SampledKey returns the key that marked the last routed record for
+// tracing, if any. Valid until the next Route call.
+func (r *Router) SampledKey() (packet.Key128, bool) {
+	return r.sampKey, r.sampled
+}
+
 // Pool routes records from a single feeder to per-shard worker
 // goroutines (a Workers transport fed through the Router). Feed,
 // Barrier and Close must be called from one goroutine.
@@ -167,6 +218,7 @@ type Pool struct {
 	workers *Workers[Item]
 	masks   []uint64
 	fed     uint64
+	tr      *obs.Tracer
 }
 
 // NewPool starts one worker goroutine per shard, each draining its batch
@@ -176,14 +228,38 @@ func NewPool(cfg Config, process ProcessFunc) *Pool {
 	n := router.Shards()
 	p := &Pool{router: router, masks: make([]uint64, n)}
 	after := cfg.AfterBatch
-	p.workers = NewWorkersObs(n, cfg.Batch, cfg.Obs, func(s int, items []Item) {
+	consume := func(s int, items []Item) {
 		for i := range items {
 			process(s, &items[i].Rec, items[i].Mask)
 		}
 		if after != nil {
 			after(s)
 		}
-	})
+	}
+	if cfg.Trace != nil && cfg.SpanSlots != nil {
+		// Traced variant: park each item's span in the shard's mailbox so
+		// the caches process runs can append to it, and stamp the
+		// transport hop (arg = batch length) on spans that have one.
+		p.tr = cfg.Trace
+		slots := cfg.SpanSlots
+		consume = func(s int, items []Item) {
+			slot := slots[s]
+			for i := range items {
+				if sp := items[i].Span; sp.Live() {
+					sp.Hop(obs.HopTransport, obs.OutcomeOK, uint64(len(items)))
+					slot.Ref = sp
+				} else {
+					slot.Ref = obs.SpanRef{}
+				}
+				process(s, &items[i].Rec, items[i].Mask)
+			}
+			slot.Ref = obs.SpanRef{}
+			if after != nil {
+				after(s)
+			}
+		}
+	}
+	p.workers = NewWorkersObs(n, cfg.Batch, cfg.Obs, consume)
 	return p
 }
 
@@ -205,9 +281,15 @@ func (p *Pool) Fed() uint64 { return p.fed }
 func (p *Pool) Feed(rec *trace.Record) {
 	p.fed++
 	p.router.Route(rec, p.masks)
+	var span obs.SpanRef
+	if p.tr != nil {
+		if key, ok := p.router.SampledKey(); ok {
+			span = p.tr.Begin(0, key, obs.HopRoute, obs.OutcomeOK)
+		}
+	}
 	for s, m := range p.masks {
 		if m != 0 {
-			p.workers.Feed(s, Item{Rec: *rec, Mask: m})
+			p.workers.Feed(s, Item{Rec: *rec, Mask: m, Span: span})
 		}
 	}
 }

@@ -3,6 +3,7 @@ package switchsim
 import (
 	"perfq/internal/compiler"
 	"perfq/internal/fold"
+	"perfq/internal/obs"
 	"perfq/internal/packet"
 	"perfq/internal/shard"
 	"perfq/internal/trace"
@@ -179,6 +180,13 @@ type shardScratch struct {
 	bregs fold.BlockRegs
 	gkeys [][fold.BlockSize]packet.Key128 // per key group, per lane
 	gmask []uint64                        // per key group: lanes packed this block
+
+	// spanSlot is the shard's trace-span mailbox: the transport worker
+	// (or the fabric pump via SetTraceSpan) parks the in-flight record's
+	// sampled span here and the shard's caches append their hops to it.
+	// Owned by the shard's processing goroutine; unused when tracing is
+	// off.
+	spanSlot obs.SpanSlot
 }
 
 func (sc *shardScratch) init(hp *hotPath) {

@@ -74,6 +74,15 @@ type Config struct {
 	// MetricsLabels is the label fragment prefixed to every series this
 	// datapath registers (the fabric sets `switch="name"`).
 	MetricsLabels string
+	// Trace, when non-nil, enables sampled packet tracing: the shard
+	// router marks 1-in-2^k records by key hash and the marked records
+	// carry a span through transport → cache → eviction (see obs.Tracer).
+	// The unsampled hot path pays one AND+compare per key group, against
+	// hashes it computes anyway.
+	Trace *obs.Tracer
+	// Journal, when non-nil, receives control-plane events (barrier
+	// syncs). The packet path never touches it.
+	Journal *obs.Journal
 }
 
 // progState is one physical key-value store instance, owned by exactly
@@ -119,11 +128,14 @@ type Datapath struct {
 	accBuf []Acc         // CloseWindow's reused accuracy snapshot (borrowed by callers)
 	tscr   tablesScratch // Tables' reused materialization scratch
 
-	obs *dpObs // atomic mirrors for the metrics registry (nil = off)
+	obs     *dpObs       // atomic mirrors for the metrics registry (nil = off)
+	tr      *obs.Tracer  // sampled packet tracing (nil = off)
+	journal *obs.Journal // control-plane event journal (nil = off)
 }
 
-// newShardState builds one shard's stores for the plan.
-func newShardState(plan *compiler.Plan, hp *hotPath, geo kvstore.Geometry, cfg Config, evictMu *sync.Mutex) (*shardState, error) {
+// newShardState builds one shard's stores for the plan. shardIdx is the
+// shard's position, used as the tracer's span-ring writer stripe.
+func newShardState(plan *compiler.Plan, hp *hotPath, geo kvstore.Geometry, cfg Config, shardIdx int, evictMu *sync.Mutex) (*shardState, error) {
 	sh := &shardState{selRows: make([][][]float64, len(hp.selects))}
 	sh.scratch.init(hp)
 	for i, sp := range plan.Programs {
@@ -150,6 +162,9 @@ func newShardState(plan *compiler.Plan, hp *hotPath, geo kvstore.Geometry, cfg C
 					cfg.OnEvict(idx, ev)
 				}
 			},
+			Trace:       cfg.Trace,
+			TraceSpan:   &sh.scratch.spanSlot,
+			TraceWriter: shardIdx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("switchsim: program %d: %w", i, err)
@@ -190,14 +205,24 @@ func New(plan *compiler.Plan, cfg Config) (*Datapath, error) {
 		evictMu = &sync.Mutex{}
 	}
 	for s := 0; s < n; s++ {
-		sh, err := newShardState(plan, d.hot, geo, cfg, evictMu)
+		sh, err := newShardState(plan, d.hot, geo, cfg, s, evictMu)
 		if err != nil {
 			return nil, err
 		}
 		d.shards = append(d.shards, sh)
 	}
 
+	d.tr = cfg.Trace
+	d.journal = cfg.Journal
 	d.routing = d.hot.routing(n, cfg.ShardBatch)
+	if cfg.Trace != nil {
+		d.routing.Trace = cfg.Trace
+		slots := make([]*obs.SpanSlot, n)
+		for s := range slots {
+			slots[s] = &d.shards[s].scratch.spanSlot
+		}
+		d.routing.SpanSlots = slots
+	}
 	d.router = shard.NewRouter(d.routing)
 	d.masks = make([]uint64, n)
 	if cfg.Metrics != nil {
@@ -325,6 +350,17 @@ func (d *Datapath) Process(rec *trace.Record) {
 		if m != 0 {
 			d.shards[s].process(d, rec, m, false)
 		}
+	}
+}
+
+// SetTraceSpan parks a span in every shard's trace mailbox — the hook an
+// upstream serial feeder (the fabric pump, whose demux does the
+// sampling) uses so inline Process calls land their cache hops on the
+// record's span. Call with the zero SpanRef to clear. Only meaningful
+// while the caller owns the datapath serially (no live worker pool).
+func (d *Datapath) SetTraceSpan(ref obs.SpanRef) {
+	for _, sh := range d.shards {
+		sh.scratch.spanSlot.Ref = ref
 	}
 }
 
@@ -470,6 +506,7 @@ func (d *Datapath) Feed(recs []trace.Record) {
 func (d *Datapath) Sync() {
 	if d.pool != nil {
 		d.pool.Barrier()
+		d.journal.Append(obs.EvBarrier, int64(d.pool.Fed()), int64(len(d.shards)), "shard-pool")
 	}
 	// Past the barrier the feeder owns every shard's plain counters
 	// (happens-before via the barrier WaitGroup), so refresh the

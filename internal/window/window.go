@@ -61,6 +61,10 @@ type Spec struct {
 	// histogram, closed/empty window counts. Recording happens once per
 	// window close, never per record.
 	Obs *obs.WindowMetrics
+	// Journal, when non-nil, receives one window-close event per closed
+	// window (a = window index, b = records fed; empty carry-over reuse
+	// included). Appended once per close, never per record.
+	Journal *obs.Journal
 }
 
 // Validate rejects unusable specs.
@@ -249,6 +253,7 @@ func (s *scheduler) closeTo(target int64) error {
 				m.Empty.Inc(0)
 			}
 		}
+		s.spec.Journal.Append(obs.EvWindowClose, s.closed, s.winRecs, "")
 		s.winRecs = 0
 		s.closed++
 		s.prev = res

@@ -139,6 +139,11 @@ type BackingPoolConfig struct {
 	// QueueDepth bounds each backend's async eviction queue; overflow
 	// drops the oldest queued eviction (0 = 1024).
 	QueueDepth int
+	// Metrics, when non-nil, attaches its flight recorder to the pool:
+	// breaker transitions, health flips, markdowns and queue overflows
+	// land in the journal served at /debug/events. (The metric families
+	// are registered separately, by WithMetrics at run time.)
+	Metrics *Metrics
 }
 
 // DialBackingPool connects one pool per switch program over the given
@@ -160,6 +165,9 @@ func (q *Query) DialBackingPool(addrs []string, cfg BackingPoolConfig) (*Backing
 			},
 			ProbeInterval: cfg.ProbeInterval,
 			QueueDepth:    cfg.QueueDepth,
+		}
+		if cfg.Metrics != nil {
+			pc.Journal = cfg.Metrics.journal
 		}
 		p, err := netstore.DialPool(addrs, prog.Fold, pc)
 		if err != nil {

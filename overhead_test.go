@@ -21,6 +21,11 @@ import (
 // plain counters the loop already kept, mirrored into atomics only at
 // batch boundaries — and this test keeps it true.
 //
+// The instrumented arm carries the FULL production surface: registry,
+// packet tracing at the default 1-in-4096 sampling, and the flight
+// recorder. The sampled test is one AND+compare against a hash the
+// cache computes anyway, so tracing must fit in the same 2% budget.
+//
 // Methodology: the two arms (registry attached / nil) are built once,
 // then timed in interleaved rounds so frequency scaling and background
 // noise hit both arms alike; each arm scores its median round. The
@@ -45,10 +50,12 @@ func TestInstrumentationOverhead(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := MustCompile(queries.ByName("Latency EWMA").Source)
-	build := func(reg *obs.Registry) (*switchsim.Datapath, func()) {
+	build := func(reg *obs.Registry, tr *obs.Tracer, j *obs.Journal) (*switchsim.Datapath, func()) {
 		dp, err := switchsim.New(q.Plan(), switchsim.Config{
 			Geometry: kvstore.SetAssociative(1<<14, 8),
 			Metrics:  reg,
+			Trace:    tr,
+			Journal:  j,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -62,9 +69,10 @@ func TestInstrumentationOverhead(t *testing.T) {
 		dp.ResetWindow()
 	}
 
-	plain, closePlain := build(nil)
+	plain, closePlain := build(nil, nil, nil)
 	defer closePlain()
-	inst, closeInst := build(obs.NewRegistry())
+	inst, closeInst := build(obs.NewRegistry(),
+		obs.NewTracer(12, 0), obs.NewJournal(obs.DefaultJournal))
 	defer closeInst()
 	// Warm both arms: size caches, indexes and arenas to the trace.
 	pass(plain)

@@ -148,13 +148,18 @@ type runConfig struct {
 	topo    *topo.Topology
 	win     *WindowSpec
 	metrics *obs.Registry
+	trace   *obs.Tracer
+	journal *obs.Journal
 	pool    *BackingPool
 }
 
-// wireMetrics threads an attached registry into the layers the run will
-// build (the datapath template) and registers the pool's families.
-// Called once per run after the options are applied.
+// wireMetrics threads an attached registry (and the trace sampler +
+// flight recorder riding with it) into the layers the run will build
+// (the datapath template) and registers the pool's families. Called
+// once per run after the options are applied.
 func (c *runConfig) wireMetrics() {
+	c.sw.Trace = c.trace
+	c.sw.Journal = c.journal
 	if c.metrics == nil {
 		return
 	}
@@ -444,6 +449,7 @@ func (q *Query) stream(src Source, cfg *runConfig, emit func(*WindowResult) erro
 		Count:      cfg.win.Count,
 		IntervalNs: cfg.win.Interval.Nanoseconds(),
 		Carry:      cfg.win.Carry,
+		Journal:    cfg.journal,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -486,6 +492,7 @@ func (q *Query) stream(src Source, cfg *runConfig, emit func(*WindowResult) erro
 
 	res := &Results{q: q, fab: fab, windows: window.NewRing[*WindowResult](cfg.win.Keep)}
 	var prevEv uint64
+	var prevDropped int64
 	_, err := window.Stream(src, spec, runner, func(wr *window.Result) error {
 		ev := evictions()
 		out := &WindowResult{
@@ -511,6 +518,10 @@ func (q *Query) stream(src Source, cfg *runConfig, emit func(*WindowResult) erro
 		}
 		res.windows.Push(out)
 		res.windowCount++
+		if d := res.windows.Dropped(); d > prevDropped {
+			cfg.journal.Append(obs.EvWindowDrop, d-prevDropped, out.Index, "")
+			prevDropped = d
+		}
 		if wm != nil {
 			frac := 1.0
 			if out.WindowTotalKeys > 0 {
